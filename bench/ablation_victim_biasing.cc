@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out:
+ *  - occupancy-based vs random victim selection (Section IV-C follows
+ *    Contreras & Martonosi's occupancy policy);
+ *  - work-biasing on/off (Section III-C: ~1% benefit, never hurts);
+ *  - serial-sprinting on/off (Section III-C: ~1-2% benefit).
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "aaws/experiment.h"
+#include "common/stats.h"
+
+using namespace aaws;
+
+namespace {
+
+double
+runWith(const Kernel &kernel,
+        const std::function<void(MachineConfig &)> &tweak)
+{
+    MachineConfig config =
+        configFor(kernel, SystemShape::s4B4L, Variant::base_psm);
+    tweak(config);
+    return Machine(config, kernel.dag).run().exec_seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablations on base+psm / 4B4L (numbers are "
+                "slowdowns vs the default design) ===\n\n");
+    std::printf("%-9s %14s %12s %14s\n", "kernel", "random-victim",
+                "no-biasing", "no-serial-spr");
+    std::vector<double> rv, nb, ns;
+    for (const auto &name : kernelNames()) {
+        Kernel kernel = makeKernel(name);
+        double base = runWith(kernel, [](MachineConfig &) {});
+        double random_victim = runWith(kernel, [](MachineConfig &c) {
+            c.random_victim = true;
+        });
+        double no_biasing = runWith(kernel, [](MachineConfig &c) {
+            c.work_biasing = false;
+        });
+        double no_serial = runWith(kernel, [](MachineConfig &c) {
+            c.policy.serial_sprinting = false;
+        });
+        rv.push_back(random_victim / base);
+        nb.push_back(no_biasing / base);
+        ns.push_back(no_serial / base);
+        std::printf("%-9s %13.3fx %11.3fx %13.3fx\n", name.c_str(),
+                    random_victim / base, no_biasing / base,
+                    no_serial / base);
+    }
+    std::printf("\nmedians: random-victim %.3fx, no-biasing %.3fx, "
+                "no-serial-sprint %.3fx\n", median(rv), median(nb),
+                median(ns));
+    std::printf("(paper: biasing ~1%% and serial-sprinting ~1-2%% "
+                "benefits; occupancy victim selection from [15])\n");
+    return 0;
+}

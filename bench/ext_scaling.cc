@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension study: how the AAWS benefit scales with machine size.
+ * The paper evaluates 8-core systems (4B4L, 1B7L) and argues the
+ * conclusions hold for larger systems; this bench sweeps the core count
+ * at a fixed 1:1 big/little ratio and reports base+psm speedup and
+ * energy-efficiency gain per shape.
+ */
+
+#include <cstdio>
+
+#include "aaws/experiment.h"
+#include "common/stats.h"
+
+using namespace aaws;
+
+int
+main()
+{
+    std::printf("=== Extension: AAWS benefit vs machine size "
+                "(base+psm vs base) ===\n\n");
+    const int shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {6, 6}, {8, 8}};
+    std::printf("%-7s", "shape");
+    const char *names[] = {"radix-2", "qsort-1", "cilksort", "dict",
+                           "uts"};
+    for (const char *name : names)
+        std::printf(" %14s", name);
+    std::printf("\n");
+    for (const auto &shape : shapes) {
+        std::printf("%dB%dL   ", shape[0], shape[1]);
+        for (const char *name : names) {
+            Kernel kernel = makeKernel(name);
+            MachineConfig base = configFor(kernel, SystemShape::s4B4L,
+                                           Variant::base);
+            base.n_big = shape[0];
+            base.n_little = shape[1];
+            MachineConfig aaws_cfg = configFor(
+                kernel, SystemShape::s4B4L, Variant::base_psm);
+            aaws_cfg.n_big = shape[0];
+            aaws_cfg.n_little = shape[1];
+            SimResult b = Machine(base, kernel.dag).run();
+            SimResult a = Machine(aaws_cfg, kernel.dag).run();
+            double speedup = b.exec_seconds / a.exec_seconds;
+            double eff = (b.energy / a.energy) * speedup /
+                         (b.exec_seconds / a.exec_seconds);
+            std::printf("  %5.2fx/%5.2fe", speedup, eff);
+        }
+        std::printf("\n");
+    }
+    std::printf("\ncells are speedup / energy-efficiency gain of full "
+                "AAWS over the baseline on each machine shape;\n"
+                "the DVFS lookup table is regenerated per shape "
+                "((N_B+1)x(N_L+1) entries).\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 3 reproduction: power vs performance curves of each core type
+ * across the DVFS range (a), and total throughput plus per-type
+ * marginal costs along the isopower constraint of the fully busy 4B4L
+ * system (b), with the optimal (star) and feasible (dot) points.
+ */
+
+#include <cstdio>
+
+#include "model/optimizer.h"
+
+using namespace aaws;
+
+int
+main()
+{
+    FirstOrderModel model;
+    MarginalUtilityOptimizer opt(model);
+
+    std::printf("=== Figure 3a: per-core power vs performance ===\n");
+    std::printf("voltage,ips_little,power_little,ips_big,power_big\n");
+    for (double v = 0.7; v <= 1.305; v += 0.05) {
+        std::printf("%.2f,%.4g,%.4g,%.4g,%.4g\n", v,
+                    model.ips(CoreType::little, v),
+                    model.activePower(CoreType::little, v),
+                    model.ips(CoreType::big, v),
+                    model.activePower(CoreType::big, v));
+    }
+
+    std::printf("\n=== Figure 3b: IPS_tot and marginal costs along the "
+                "isopower constraint ===\n");
+    CoreActivity hp{4, 4, 0, 0};
+    double target = opt.targetPower(hp);
+    std::printf("v_big,v_little,ips_norm,dP/dIPS_big,dP/dIPS_little\n");
+    double ips_nom = opt.activeIps(hp, 1.0, 1.0);
+    for (double v_big = 0.70; v_big <= 1.001; v_big += 0.02) {
+        // Solve V_L for the isopower constraint by bisection.
+        double lo = 0.56;
+        double hi = 8.0;
+        for (int i = 0; i < 60; ++i) {
+            double mid = 0.5 * (lo + hi);
+            (opt.systemPower(hp, v_big, mid) < target ? lo : hi) = mid;
+        }
+        double v_little = 0.5 * (lo + hi);
+        std::printf("%.2f,%.3f,%.4f,%.4g,%.4g\n", v_big, v_little,
+                    opt.activeIps(hp, v_big, v_little) / ips_nom,
+                    model.marginalCost(CoreType::big, v_big),
+                    model.marginalCost(CoreType::little, v_little));
+    }
+
+    OperatingPoint star = opt.solve(hp, target, /*feasible=*/false);
+    OperatingPoint dot = opt.solve(hp, target, /*feasible=*/true);
+    std::printf("\noptimal  (star): V_B=%.2f V V_L=%.2f V speedup=%.2fx"
+                "   [paper: 0.86 / 1.44 / 1.12]\n",
+                star.v_big, star.v_little, star.speedup);
+    std::printf("feasible (dot) : V_B=%.2f V V_L=%.2f V speedup=%.2fx"
+                "   [paper: 0.93 / 1.30 / 1.10]\n",
+                dot.v_big, dot.v_little, dot.speedup);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 8 reproduction: normalized execution-time breakdown for every
+ * kernel on the 1B7L and 4B4L systems as the AAWS techniques are
+ * incrementally enabled (base, +p, +ps, +psm, and mugging-only +m).
+ * Each bar is broken into serial / HP / BI<LA / BI>=LA / oLP time, all
+ * normalized to that kernel's baseline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "aaws/experiment.h"
+#include "common/stats.h"
+
+using namespace aaws;
+
+int
+main()
+{
+    for (SystemShape shape : {SystemShape::s1B7L, SystemShape::s4B4L}) {
+        std::printf("=== Figure 8 (%s): normalized execution time "
+                    "breakdown ===\n", systemName(shape));
+        std::printf("%-9s %-9s %8s %8s %8s %8s %8s %8s %9s\n", "kernel",
+                    "variant", "serial", "hp", "BI<LA", "BI>=LA", "oLP",
+                    "total", "speedup");
+        std::vector<double> psm_speedups;
+        for (const auto &name : kernelNames()) {
+            Kernel kernel = makeKernel(name);
+            double base_seconds = 0.0;
+            for (Variant v : allVariants()) {
+                SimResult r = runKernel(kernel, shape, v).sim;
+                if (v == Variant::base)
+                    base_seconds = r.exec_seconds;
+                double n = base_seconds;
+                const RegionBreakdown &g = r.regions;
+                double speedup = base_seconds / r.exec_seconds;
+                if (v == Variant::base_psm)
+                    psm_speedups.push_back(speedup);
+                std::printf(
+                    "%-9s %-9s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
+                    "%8.2fx\n",
+                    name.c_str(), variantName(v), g.serial / n, g.hp / n,
+                    g.lp_bi_lt_la / n, g.lp_bi_ge_la / n, g.lp_other / n,
+                    r.exec_seconds / base_seconds, speedup);
+            }
+        }
+        std::printf("\n%s base+psm speedups: min %.2fx median %.2fx "
+                    "max %.2fx", systemName(shape), minOf(psm_speedups),
+                    median(psm_speedups), maxOf(psm_speedups));
+        if (shape == SystemShape::s4B4L)
+            std::printf("   [paper 4B4L: 1.02x / 1.10x / 1.32x]");
+        std::printf("\n\n");
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 9 reproduction: energy efficiency vs performance of every
+ * kernel under each AAWS technique subset, normalized to that kernel on
+ * the baseline 4B4L system.  Points above perf=eff (the isopower
+ * diagonal) draw less power than the baseline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "aaws/experiment.h"
+#include "common/stats.h"
+
+using namespace aaws;
+
+int
+main()
+{
+    std::printf("=== Figure 9: energy efficiency vs performance, 4B4L "
+                "===\n");
+    std::printf("kernel,variant,perf,efficiency,power\n");
+    std::vector<double> psm_eff;
+    for (const auto &name : kernelNames()) {
+        Kernel kernel = makeKernel(name);
+        RunResult base = runKernel(kernel, SystemShape::s4B4L,
+                                   Variant::base);
+        for (Variant v : {Variant::base_p, Variant::base_ps,
+                          Variant::base_psm, Variant::base_m}) {
+            RunResult r = runKernel(kernel, SystemShape::s4B4L, v);
+            double perf = base.sim.exec_seconds / r.sim.exec_seconds;
+            double eff = r.efficiency() / base.efficiency();
+            double power = r.sim.avg_power / base.sim.avg_power;
+            if (v == Variant::base_psm)
+                psm_eff.push_back(eff);
+            std::printf("%s,%s,%.3f,%.3f,%.3f\n", name.c_str(),
+                        variantName(v), perf, eff, power);
+        }
+    }
+    int improved = 0;
+    for (double e : psm_eff)
+        improved += e > 1.0;
+    std::printf("\nbase+psm energy efficiency: improved on %d/%zu "
+                "kernels, median %.2fx, max %.2fx\n", improved,
+                psm_eff.size(), median(psm_eff), maxOf(psm_eff));
+    std::printf("paper: all but one kernel improved; median 1.11x, max "
+                "1.53x\n");
+    return 0;
+}

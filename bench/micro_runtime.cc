@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the native runtime primitives:
+ * deque push/pop, steal, spawn+join overhead, parallel_for scaling, and
+ * task-DAG generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "kernels/registry.h"
+#include "runtime/chase_lev_deque.h"
+#include "runtime/parallel_for.h"
+
+using namespace aaws;
+
+namespace {
+
+void
+BM_DequePushPop(benchmark::State &state)
+{
+    ChaseLevDeque<int64_t> dq;
+    int64_t out;
+    for (auto _ : state) {
+        dq.push(1);
+        benchmark::DoNotOptimize(dq.pop(out));
+    }
+}
+BENCHMARK(BM_DequePushPop);
+
+void
+BM_DequeSteal(benchmark::State &state)
+{
+    ChaseLevDeque<int64_t> dq;
+    int64_t out;
+    for (auto _ : state) {
+        dq.push(1);
+        benchmark::DoNotOptimize(dq.steal(out));
+    }
+}
+BENCHMARK(BM_DequeSteal);
+
+void
+BM_SpawnJoin(benchmark::State &state)
+{
+    WorkerPool pool(2);
+    for (auto _ : state) {
+        std::atomic<int> x{0};
+        TaskGroup group(pool);
+        group.run([&x] { x.fetch_add(1); });
+        group.wait();
+        benchmark::DoNotOptimize(x.load());
+    }
+}
+BENCHMARK(BM_SpawnJoin);
+
+void
+BM_ParallelForGrain(benchmark::State &state)
+{
+    WorkerPool pool(4);
+    std::vector<int64_t> data(1 << 14);
+    for (auto _ : state) {
+        parallelFor(pool, 0, 1 << 14, state.range(0),
+                    [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i)
+                            data[i] = i;
+                    });
+        benchmark::DoNotOptimize(data.data());
+    }
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_KernelGeneration(benchmark::State &state)
+{
+    // DAG synthesis throughput for the cheapest and priciest kernels.
+    const char *names[] = {"mis", "bscholes", "uts"};
+    const char *name = names[state.range(0)];
+    for (auto _ : state) {
+        Kernel kernel = makeKernel(name);
+        benchmark::DoNotOptimize(kernel.dag.numTasks());
+    }
+    state.SetLabel(name);
+}
+BENCHMARK(BM_KernelGeneration)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace

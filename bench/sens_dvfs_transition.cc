@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sensitivity study from Section IV-D: sweep the regulator transition
+ * cost from 40 ns to 250 ns per 0.15 V step.  The paper reports < 2%
+ * overall performance impact because transitions are rare (~0.2 per
+ * 10 us on average).
+ */
+
+#include <cstdio>
+
+#include "aaws/experiment.h"
+#include "common/stats.h"
+
+using namespace aaws;
+
+int
+main()
+{
+    std::printf("=== Sensitivity: DVFS transition latency (base+psm, "
+                "4B4L) ===\n\n");
+    std::printf("%-9s", "kernel");
+    const double steps[] = {40.0, 100.0, 175.0, 250.0};
+    for (double ns : steps)
+        std::printf(" %7.0fns", ns);
+    std::printf("   trans/10us\n");
+
+    std::vector<double> worst;
+    for (const auto &name : kernelNames()) {
+        Kernel kernel = makeKernel(name);
+        std::printf("%-9s", name.c_str());
+        double base_seconds = 0.0;
+        double transitions_per_10us = 0.0;
+        for (double ns : steps) {
+            MachineConfig config = configFor(kernel, SystemShape::s4B4L,
+                                             Variant::base_psm);
+            config.regulator_ns_per_step = ns;
+            SimResult r = Machine(config, kernel.dag).run();
+            if (ns == steps[0]) {
+                base_seconds = r.exec_seconds;
+                transitions_per_10us =
+                    r.transitions / (r.exec_seconds * 1e5);
+            }
+            std::printf(" %8.3f", r.exec_seconds / base_seconds);
+            if (ns == steps[3])
+                worst.push_back(r.exec_seconds / base_seconds);
+        }
+        std::printf("   %8.2f\n", transitions_per_10us);
+    }
+    std::printf("\nworst 250ns slowdown: %.1f%% (paper: < 2%%)\n",
+                100.0 * (maxOf(worst) - 1.0));
+    return 0;
+}

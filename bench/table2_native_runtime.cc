@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Table II reproduction: the native work-stealing runtime against
+ * alternative schedulers on real host hardware, using real
+ * implementations of five PBBS-style kernels (dict, radix, rdups, mis,
+ * nbody).
+ *
+ * Intel Cilk++ / Intel TBB are not available offline; the comparison
+ * points are a centralized-queue work-*sharing* pool and a
+ * std::async-per-chunk scheduler (see DESIGN.md).  The paper's claim to
+ * check is that the baseline work-stealing runtime is competitive with
+ * (within a few percent of) production alternatives; absolute speedups
+ * depend on how many hardware threads this host has.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/central_queue.h"
+#include "runtime/parallel_for.h"
+
+using namespace aaws;
+
+namespace {
+
+double
+timeIt(const std::function<void()> &fn, int trials = 3)
+{
+    double best = 1e30;
+    for (int t = 0; t < trials; ++t) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        auto end = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(end - start).count());
+    }
+    return best;
+}
+
+// ---- dict: open-addressing hash insert + lookup --------------------------
+
+struct DictKernel
+{
+    static constexpr int64_t kN = 400000;
+    std::vector<uint64_t> keys;
+    std::vector<std::atomic<uint64_t>> table;
+    int64_t mask;
+
+    DictKernel() : keys(kN), table(1 << 20), mask((1 << 20) - 1)
+    {
+        Rng rng(1);
+        for (auto &k : keys)
+            k = rng.next() | 1;
+    }
+
+    void reset()
+    {
+        for (auto &slot : table)
+            slot.store(0, std::memory_order_relaxed);
+    }
+
+    void
+    insertRange(int64_t lo, int64_t hi)
+    {
+        for (int64_t i = lo; i < hi; ++i) {
+            uint64_t key = keys[i];
+            int64_t slot = static_cast<int64_t>(key) & mask;
+            while (true) {
+                uint64_t cur = table[slot].load(std::memory_order_relaxed);
+                if (cur == key)
+                    break;
+                if (cur == 0) {
+                    uint64_t expected = 0;
+                    if (table[slot].compare_exchange_weak(expected, key))
+                        break;
+                    continue;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+    }
+
+    int64_t
+    findRange(int64_t lo, int64_t hi) const
+    {
+        int64_t hits = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+            uint64_t key = keys[i];
+            int64_t slot = static_cast<int64_t>(key) & mask;
+            while (true) {
+                uint64_t cur = table[slot].load(std::memory_order_relaxed);
+                if (cur == key) {
+                    hits++;
+                    break;
+                }
+                if (cur == 0)
+                    break;
+                slot = (slot + 1) & mask;
+            }
+        }
+        return hits;
+    }
+};
+
+// ---- radix: LSD radix sort over 8-bit digits ---------------------------
+
+struct RadixKernel
+{
+    static constexpr int64_t kN = 1200000;
+    std::vector<uint32_t> input;
+
+    RadixKernel() : input(kN)
+    {
+        Rng rng(2);
+        for (auto &v : input)
+            v = static_cast<uint32_t>(rng.next());
+    }
+
+    /** One pass with per-block counting; runs blocks through `pf`. */
+    static void
+    sortWith(std::vector<uint32_t> data,
+             const std::function<void(int64_t, int64_t,
+                                      std::function<void(int64_t,
+                                                         int64_t)>)> &pf,
+             int blocks)
+    {
+        std::vector<uint32_t> out(data.size());
+        auto n = static_cast<int64_t>(data.size());
+        int64_t block = (n + blocks - 1) / blocks;
+        std::vector<std::vector<int64_t>> hist(
+            blocks, std::vector<int64_t>(256, 0));
+        for (int shift = 0; shift < 32; shift += 8) {
+            pf(0, blocks, [&](int64_t blo, int64_t bhi) {
+                for (int64_t b = blo; b < bhi; ++b) {
+                    auto &h = hist[b];
+                    std::fill(h.begin(), h.end(), 0);
+                    int64_t lo = b * block;
+                    int64_t hi = std::min(n, lo + block);
+                    for (int64_t i = lo; i < hi; ++i)
+                        h[(data[i] >> shift) & 255]++;
+                }
+            });
+            // Serial prefix over digit-major order.
+            std::vector<std::vector<int64_t>> offset(
+                blocks, std::vector<int64_t>(256, 0));
+            int64_t run = 0;
+            for (int d = 0; d < 256; ++d) {
+                for (int b = 0; b < blocks; ++b) {
+                    offset[b][d] = run;
+                    run += hist[b][d];
+                }
+            }
+            pf(0, blocks, [&](int64_t blo, int64_t bhi) {
+                for (int64_t b = blo; b < bhi; ++b) {
+                    auto off = offset[b];
+                    int64_t lo = b * block;
+                    int64_t hi = std::min(n, lo + block);
+                    for (int64_t i = lo; i < hi; ++i)
+                        out[off[(data[i] >> shift) & 255]++] = data[i];
+                }
+            });
+            data.swap(out);
+        }
+        volatile uint32_t sink = data[0];
+        (void)sink;
+    }
+};
+
+// ---- rdups: remove duplicates via hash claiming --------------------------
+
+struct RdupsKernel
+{
+    static constexpr int64_t kN = 800000;
+    std::vector<uint64_t> keys;
+    std::vector<std::atomic<uint64_t>> table;
+    int64_t mask;
+
+    RdupsKernel() : keys(kN), table(1 << 20), mask((1 << 20) - 1)
+    {
+        Rng rng(3);
+        for (auto &k : keys)
+            k = (rng.next() % (kN / 4)) + 1; // ~4x duplication
+    }
+
+    void reset()
+    {
+        for (auto &slot : table)
+            slot.store(0, std::memory_order_relaxed);
+    }
+
+    int64_t
+    claimRange(int64_t lo, int64_t hi)
+    {
+        int64_t uniques = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+            uint64_t key = keys[i];
+            int64_t slot = static_cast<int64_t>(key * 0x9E3779B9u) & mask;
+            while (true) {
+                uint64_t cur = table[slot].load(std::memory_order_relaxed);
+                if (cur == key)
+                    break;
+                if (cur == 0) {
+                    uint64_t expected = 0;
+                    if (table[slot].compare_exchange_weak(expected, key)) {
+                        uniques++;
+                        break;
+                    }
+                    continue;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        return uniques;
+    }
+};
+
+// ---- nbody: direct O(n^2) forces -----------------------------------------
+
+struct NbodyKernel
+{
+    static constexpr int64_t kN = 700;
+    std::vector<double> x, y, z, fx, fy, fz;
+
+    NbodyKernel()
+        : x(kN), y(kN), z(kN), fx(kN), fy(kN), fz(kN)
+    {
+        Rng rng(4);
+        for (int64_t i = 0; i < kN; ++i) {
+            x[i] = rng.uniform();
+            y[i] = rng.uniform();
+            z[i] = rng.uniform();
+        }
+    }
+
+    void
+    forcesRange(int64_t lo, int64_t hi)
+    {
+        for (int64_t i = lo; i < hi; ++i) {
+            double ax = 0, ay = 0, az = 0;
+            for (int64_t j = 0; j < kN; ++j) {
+                double dx = x[j] - x[i];
+                double dy = y[j] - y[i];
+                double dz = z[j] - z[i];
+                double r2 = dx * dx + dy * dy + dz * dz + 1e-9;
+                double inv = 1.0 / (r2 * std::sqrt(r2));
+                ax += dx * inv;
+                ay += dy * inv;
+                az += dz * inv;
+            }
+            fx[i] = ax;
+            fy[i] = ay;
+            fz[i] = az;
+        }
+    }
+};
+
+// ---- mis: Luby rounds over a random local graph --------------------------
+
+struct MisKernel
+{
+    static constexpr int64_t kN = 300000;
+    std::vector<int32_t> offsets, neighbors;
+    std::vector<double> priority;
+
+    MisKernel()
+    {
+        Rng rng(5);
+        std::vector<std::vector<int32_t>> adj(kN);
+        for (int64_t u = 0; u < kN; ++u) {
+            for (int d = 0; d < 4; ++d) {
+                auto v = static_cast<int32_t>(
+                    (u + 1 + rng.below(2000)) % kN);
+                adj[u].push_back(v);
+                adj[v].push_back(static_cast<int32_t>(u));
+            }
+        }
+        offsets.resize(kN + 1);
+        for (int64_t u = 0; u < kN; ++u)
+            offsets[u + 1] = offsets[u] +
+                             static_cast<int32_t>(adj[u].size());
+        neighbors.resize(offsets[kN]);
+        for (int64_t u = 0; u < kN; ++u)
+            std::copy(adj[u].begin(), adj[u].end(),
+                      neighbors.begin() + offsets[u]);
+        priority.resize(kN);
+        for (auto &p : priority)
+            p = rng.uniform();
+    }
+
+    /** One MIS computation; statuses: 0 undecided, 1 in, 2 out. */
+    int64_t
+    run(const std::function<void(int64_t, int64_t,
+                                 std::function<void(int64_t,
+                                                    int64_t)>)> &pf)
+    {
+        std::vector<std::atomic<int8_t>> status(kN);
+        for (auto &s : status)
+            s.store(0, std::memory_order_relaxed);
+        std::atomic<int64_t> in_set{0};
+        for (int round = 0; round < 40; ++round) {
+            std::atomic<int64_t> changed{0};
+            pf(0, kN, [&](int64_t lo, int64_t hi) {
+                int64_t local_in = 0;
+                int64_t local_changed = 0;
+                for (int64_t u = lo; u < hi; ++u) {
+                    if (status[u].load(std::memory_order_relaxed) != 0)
+                        continue;
+                    bool is_min = true;
+                    bool neighbor_in = false;
+                    for (int32_t i = offsets[u]; i < offsets[u + 1];
+                         ++i) {
+                        int32_t v = neighbors[i];
+                        int8_t sv =
+                            status[v].load(std::memory_order_relaxed);
+                        if (sv == 1) {
+                            neighbor_in = true;
+                            break;
+                        }
+                        if (sv == 0 && priority[v] < priority[u])
+                            is_min = false;
+                    }
+                    if (neighbor_in) {
+                        status[u].store(2, std::memory_order_relaxed);
+                        local_changed++;
+                    } else if (is_min) {
+                        status[u].store(1, std::memory_order_relaxed);
+                        local_in++;
+                        local_changed++;
+                    }
+                }
+                in_set.fetch_add(local_in, std::memory_order_relaxed);
+                changed.fetch_add(local_changed,
+                                  std::memory_order_relaxed);
+            });
+            if (changed.load() == 0)
+                break;
+        }
+        return in_set.load();
+    }
+};
+
+using PfFn = std::function<void(int64_t, int64_t,
+                                std::function<void(int64_t, int64_t)>)>;
+
+struct Row
+{
+    const char *name;
+    double serial;
+    double ws;
+    double central;
+    double async;
+};
+
+} // namespace
+
+int
+main()
+{
+    int threads = std::max(2u, std::thread::hardware_concurrency());
+    std::printf("=== Table II: baseline runtime vs alternative "
+                "schedulers (host: %d threads) ===\n\n", threads);
+
+    WorkerPool ws_pool(threads);
+    CentralQueuePool cq_pool(threads);
+
+    PfFn serial_pf = [](int64_t lo, int64_t hi,
+                        std::function<void(int64_t, int64_t)> body) {
+        body(lo, hi);
+    };
+    PfFn ws_pf = [&](int64_t lo, int64_t hi,
+                     std::function<void(int64_t, int64_t)> body) {
+        parallelFor(ws_pool, lo, hi, std::max<int64_t>(1, (hi - lo) / 64),
+                    body);
+    };
+    PfFn cq_pf = [&](int64_t lo, int64_t hi,
+                     std::function<void(int64_t, int64_t)> body) {
+        cq_pool.parallelFor(lo, hi, std::max<int64_t>(1, (hi - lo) / 64),
+                            body);
+    };
+    PfFn async_pf = [&](int64_t lo, int64_t hi,
+                        std::function<void(int64_t, int64_t)> body) {
+        asyncChunkedFor(lo, hi, threads, body);
+    };
+
+    std::vector<Row> rows;
+
+    {
+        DictKernel dict;
+        auto bench = [&](const PfFn &pf) {
+            return timeIt([&] {
+                dict.reset();
+                pf(0, DictKernel::kN, [&](int64_t lo, int64_t hi) {
+                    dict.insertRange(lo, hi);
+                });
+                std::atomic<int64_t> hits{0};
+                pf(0, DictKernel::kN, [&](int64_t lo, int64_t hi) {
+                    hits.fetch_add(dict.findRange(lo, hi));
+                });
+            });
+        };
+        rows.push_back({"dict", bench(serial_pf), bench(ws_pf),
+                        bench(cq_pf), bench(async_pf)});
+    }
+    {
+        RadixKernel radix;
+        auto bench = [&](const PfFn &pf) {
+            return timeIt([&] {
+                RadixKernel::sortWith(radix.input, pf, 4 * threads);
+            });
+        };
+        rows.push_back({"radix", bench(serial_pf), bench(ws_pf),
+                        bench(cq_pf), bench(async_pf)});
+    }
+    {
+        RdupsKernel rdups;
+        auto bench = [&](const PfFn &pf) {
+            return timeIt([&] {
+                rdups.reset();
+                std::atomic<int64_t> uniques{0};
+                pf(0, RdupsKernel::kN, [&](int64_t lo, int64_t hi) {
+                    uniques.fetch_add(rdups.claimRange(lo, hi));
+                });
+            });
+        };
+        rows.push_back({"rdups", bench(serial_pf), bench(ws_pf),
+                        bench(cq_pf), bench(async_pf)});
+    }
+    {
+        MisKernel mis;
+        auto bench = [&](const PfFn &pf) {
+            return timeIt([&] { (void)mis.run(pf); });
+        };
+        rows.push_back({"mis", bench(serial_pf), bench(ws_pf),
+                        bench(cq_pf), bench(async_pf)});
+    }
+    {
+        NbodyKernel nbody;
+        auto bench = [&](const PfFn &pf) {
+            return timeIt([&] {
+                pf(0, NbodyKernel::kN, [&](int64_t lo, int64_t hi) {
+                    nbody.forcesRange(lo, hi);
+                });
+            });
+        };
+        rows.push_back({"nbody", bench(serial_pf), bench(ws_pf),
+                        bench(cq_pf), bench(async_pf)});
+    }
+
+    std::printf("%-8s %12s %14s %14s %14s %12s\n", "kernel",
+                "serial(ms)", "work-steal", "central-q", "async",
+                "ws vs cq");
+    for (const auto &row : rows) {
+        std::printf("%-8s %12.2f %11.2fx %13.2fx %13.2fx %+11.0f%%\n",
+                    row.name, row.serial * 1e3, row.serial / row.ws,
+                    row.serial / row.central, row.serial / row.async,
+                    100.0 * (row.central / row.ws - 1.0));
+    }
+    std::printf("\ncolumns 3-5 are speedups over the serial version; "
+                "the last column is the work-stealing runtime's\n"
+                "advantage over the central-queue scheduler (paper's "
+                "analogous margin vs TBB: -3%% .. +14%%).\n"
+                "Note: on a single-hardware-thread host all parallel "
+                "speedups degenerate toward <= 1x.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+#include "aaws/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+namespace {
+
+/** Metrics of one evaluation run. */
+struct Eval
+{
+    double seconds = 0.0;
+    double power = 0.0;
+    double edp = 0.0;
+    std::vector<double> occupancy;
+};
+
+Eval
+evaluate(const Kernel &kernel, SystemShape shape, Variant variant,
+         const DvfsLookupTable &table)
+{
+    MachineConfig config = configFor(kernel, shape, variant);
+    config.table_override = &table;
+    SimResult result = Machine(config, kernel.dag).run();
+    Eval eval;
+    eval.seconds = result.exec_seconds;
+    eval.power = result.avg_power;
+    eval.edp = result.energy * result.exec_seconds;
+    eval.occupancy = result.occupancy_seconds;
+    return eval;
+}
+
+} // namespace
+
+AdaptiveReport
+adaptDvfsTable(const Kernel &kernel, SystemShape shape,
+               const AdaptiveOptions &options)
+{
+    AAWS_ASSERT(options.voltage_step > 0.0 && options.max_accepted >= 0,
+                "bad adaptive options");
+    MachineConfig base_config = configFor(kernel, shape, options.variant);
+    FirstOrderModel designer(base_config.table_params);
+    const double v_min = base_config.table_params.v_min;
+    const double v_max = base_config.table_params.v_max;
+    int n_big = base_config.n_big;
+    int n_little = base_config.n_little;
+
+    AdaptiveReport report{
+        DvfsLookupTable(designer, n_big, n_little), 0, 0, 0, 0, 0, 0, {}};
+
+    Eval best = evaluate(kernel, shape, options.variant, report.table);
+    report.static_seconds = best.seconds;
+    report.static_edp = best.edp;
+    report.static_power = best.power;
+    double power_cap = best.power * options.power_slack;
+
+    while (static_cast<int>(report.accepted.size()) <
+           options.max_accepted) {
+        // Rank entries by observed occupancy time (the counters a real
+        // adaptive controller samples).
+        std::vector<std::pair<double, int>> ranked;
+        for (size_t i = 0; i < best.occupancy.size(); ++i) {
+            int ba = static_cast<int>(i) / (n_little + 1);
+            int la = static_cast<int>(i) % (n_little + 1);
+            if (ba == 0 && la == 0)
+                continue; // nothing active: voltages unused
+            if (best.occupancy[i] > 1e-9)
+                ranked.push_back({best.occupancy[i],
+                                  static_cast<int>(i)});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first > b.first;
+                  });
+        if (ranked.size() >
+            static_cast<size_t>(options.entries_per_pass)) {
+            ranked.resize(options.entries_per_pass);
+        }
+
+        bool improved = false;
+        for (const auto &[occ, idx] : ranked) {
+            (void)occ;
+            int ba = idx / (n_little + 1);
+            int la = idx % (n_little + 1);
+            DvfsTableEntry current = report.table.at(ba, la);
+            // Four axis-aligned voltage perturbations; skip axes whose
+            // core type is inactive in this entry.
+            DvfsTableEntry trials[4] = {current, current, current,
+                                        current};
+            int n_trials = 0;
+            if (ba > 0) {
+                trials[n_trials] = current;
+                trials[n_trials].v_big = std::clamp(
+                    current.v_big + options.voltage_step, v_min, v_max);
+                n_trials++;
+                trials[n_trials] = current;
+                trials[n_trials].v_big = std::clamp(
+                    current.v_big - options.voltage_step, v_min, v_max);
+                n_trials++;
+            }
+            if (la > 0) {
+                trials[n_trials] = current;
+                trials[n_trials].v_little = std::clamp(
+                    current.v_little + options.voltage_step, v_min,
+                    v_max);
+                n_trials++;
+                trials[n_trials] = current;
+                trials[n_trials].v_little = std::clamp(
+                    current.v_little - options.voltage_step, v_min,
+                    v_max);
+                n_trials++;
+            }
+            for (int t = 0; t < n_trials; ++t) {
+                if (std::abs(trials[t].v_big - current.v_big) < 1e-9 &&
+                    std::abs(trials[t].v_little - current.v_little) <
+                        1e-9) {
+                    continue; // clamped to the same point
+                }
+                report.table.setEntry(ba, la, trials[t]);
+                Eval trial = evaluate(kernel, shape, options.variant,
+                                      report.table);
+                bool better = trial.edp < best.edp * 0.999 &&
+                              trial.power <= power_cap;
+                if (better) {
+                    best = trial;
+                    report.accepted.push_back({ba, la, trials[t].v_big,
+                                               trials[t].v_little,
+                                               trial.edp});
+                    improved = true;
+                    break; // greedy: re-rank with fresh counters
+                }
+                report.table.setEntry(ba, la, current); // revert
+            }
+            if (improved)
+                break;
+        }
+        if (!improved)
+            break;
+    }
+
+    report.tuned_seconds = best.seconds;
+    report.tuned_edp = best.edp;
+    report.tuned_power = best.power;
+    return report;
+}
+
+} // namespace aaws

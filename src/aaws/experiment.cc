@@ -1,0 +1,90 @@
+#include "aaws/experiment.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+const char *
+systemName(SystemShape shape)
+{
+    return shape == SystemShape::s4B4L ? "4B4L" : "1B7L";
+}
+
+MachineConfig
+configFor(const Kernel &kernel, SystemShape shape, Variant variant,
+          bool collect_trace)
+{
+    MachineConfig config = shape == SystemShape::s4B4L
+                               ? MachineConfig::system4B4L()
+                               : MachineConfig::system1B7L();
+    // Per-application core behaviour (Table III columns).
+    config.app_params.alpha = kernel.stats.alpha;
+    config.app_params.beta = kernel.stats.beta;
+    config.app_params.ipc_little = kernel.stats.ipcLittle();
+    config.mpki = kernel.stats.mpki;
+    // The lookup table keeps the designer's system-wide estimates
+    // (ModelParams defaults: alpha = 3, beta = 2).
+    applyVariant(config, variant);
+    config.collect_trace = collect_trace;
+    return config;
+}
+
+RunResult
+runKernel(const Kernel &kernel, SystemShape shape, Variant variant,
+          bool collect_trace)
+{
+    RunResult result;
+    result.kernel = kernel.stats.name;
+    result.system = shape;
+    result.variant = variant;
+    MachineConfig config = configFor(kernel, shape, variant, collect_trace);
+    Machine machine(config, kernel.dag);
+    result.sim = machine.run();
+    return result;
+}
+
+RunResult
+runKernel(const std::string &kernel, SystemShape shape, Variant variant,
+          bool collect_trace, uint64_t seed)
+{
+    return runKernel(makeKernel(kernel, seed), shape, variant,
+                     collect_trace);
+}
+
+namespace {
+
+/** Serial instruction count: total work minus the parallel overhead. */
+double
+serialInstructions(const Kernel &kernel)
+{
+    return 0.92 * static_cast<double>(kernel.dag.totalWork());
+}
+
+} // namespace
+
+double
+serialSeconds(const Kernel &kernel, CoreType type)
+{
+    ModelParams params;
+    params.alpha = kernel.stats.alpha;
+    params.beta = kernel.stats.beta;
+    params.ipc_little = kernel.stats.ipcLittle();
+    FirstOrderModel model(params);
+    double ips = model.ips(type, params.v_nom);
+    AAWS_ASSERT(ips > 0.0, "non-positive serial throughput");
+    return serialInstructions(kernel) / ips;
+}
+
+double
+serialEnergy(const Kernel &kernel, CoreType type)
+{
+    ModelParams params;
+    params.alpha = kernel.stats.alpha;
+    params.beta = kernel.stats.beta;
+    params.ipc_little = kernel.stats.ipcLittle();
+    FirstOrderModel model(params);
+    return model.activePower(type, params.v_nom) *
+           serialSeconds(kernel, type);
+}
+
+} // namespace aaws

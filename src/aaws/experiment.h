@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment driver: runs (kernel x system x variant) simulations and
+ * computes the normalized metrics the paper's figures report.
+ */
+
+#ifndef AAWS_AAWS_EXPERIMENT_H
+#define AAWS_AAWS_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "aaws/variant.h"
+#include "kernels/registry.h"
+#include "sim/machine.h"
+
+namespace aaws {
+
+/** Which machine shape an experiment targets. */
+enum class SystemShape { s4B4L, s1B7L };
+
+/** Display name ("4B4L" / "1B7L"). */
+const char *systemName(SystemShape shape);
+
+/** One (kernel, system, variant) measurement. */
+struct RunResult
+{
+    std::string kernel;
+    SystemShape system = SystemShape::s4B4L;
+    Variant variant = Variant::base;
+    SimResult sim;
+
+    /** Work per joule, the paper's energy-efficiency axis. */
+    double
+    efficiency() const
+    {
+        return sim.energy > 0.0
+                   ? static_cast<double>(sim.instructions) / sim.energy
+                   : 0.0;
+    }
+};
+
+/**
+ * Build the machine config for a kernel: per-application alpha / beta /
+ * little-core IPC from Table III drive core performance and energy; the
+ * DVFS lookup table always uses the designer's system-wide estimates.
+ */
+MachineConfig configFor(const Kernel &kernel, SystemShape shape,
+                        Variant variant, bool collect_trace = false);
+
+/** Run one kernel under one variant on one system. */
+RunResult runKernel(const Kernel &kernel, SystemShape shape,
+                    Variant variant, bool collect_trace = false);
+
+/** Convenience: instantiate the kernel by name and run it. */
+RunResult runKernel(const std::string &kernel, SystemShape shape,
+                    Variant variant, bool collect_trace = false,
+                    uint64_t seed = 0xA57'5EEDull);
+
+/**
+ * Simulate the optimized *serial* version on a single core of the given
+ * type (for Table III's serial baselines): all work executes back to
+ * back on one core at nominal voltage, with a 0.92 discount for the
+ * parallel version's task-management instructions.
+ */
+double serialSeconds(const Kernel &kernel, CoreType type);
+
+/** Serial energy of the same run (for the alpha/ERatio column). */
+double serialEnergy(const Kernel &kernel, CoreType type);
+
+} // namespace aaws
+
+#endif // AAWS_AAWS_EXPERIMENT_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 tradition.
+ *
+ * `fatal()` terminates because of a *user* error (bad configuration,
+ * invalid arguments); `panic()` terminates because of an *internal* bug
+ * and aborts so a debugger or core dump can capture the state.  `warn()`
+ * and `inform()` print status without stopping execution.
+ */
+
+#ifndef AAWS_COMMON_LOGGING_H
+#define AAWS_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace aaws {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Exit with an error message: the *user's* fault (bad config/arguments). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with an error message: an *internal* bug that should never occur. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but survivable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal-invariant check that survives NDEBUG builds.
+ *
+ * Use for simulator invariants whose violation means the simulator itself
+ * is broken; calls panic() with the condition text and location.
+ */
+#define AAWS_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::aaws::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                          __FILE__, __LINE__,                                \
+                          ::aaws::strfmt(__VA_ARGS__).c_str());              \
+        }                                                                    \
+    } while (0)
+
+} // namespace aaws
+
+#endif // AAWS_COMMON_LOGGING_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All simulated workload generators draw from this xoshiro256** engine so
+ * that every experiment is bit-reproducible across runs and platforms
+ * (std::mt19937 distributions are not portable across standard-library
+ * implementations, so the distributions here are hand-rolled too).
+ */
+
+#ifndef AAWS_COMMON_RNG_H
+#define AAWS_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace aaws {
+
+/**
+ * xoshiro256** 1.0 generator (Blackman & Vigna), seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 to spread a small seed across the full state.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t *s = state_;
+        uint64_t result = rotl(s[1] * 5, 7) * 9;
+        uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n) for n > 0 (unbiased enough for workloads). */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        return mean + stddev * z;
+    }
+
+    /** Bernoulli trial with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace aaws
+
+#endif // AAWS_COMMON_RNG_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small summary-statistics helpers used by the benches and the region
+ * trackers (mean, median, geometric mean, percentiles, min/max).
+ */
+
+#ifndef AAWS_COMMON_STATS_H
+#define AAWS_COMMON_STATS_H
+
+#include <vector>
+
+namespace aaws {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Median (average of middle two for even sizes); 0 for empty input. */
+double median(std::vector<double> xs);
+
+/** Geometric mean; 0 for empty input; requires strictly positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Linear-interpolated percentile, p in [0, 100]; 0 for empty input. */
+double percentile(std::vector<double> xs, double p);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum; 0 for empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 for empty input. */
+double maxOf(const std::vector<double> &xs);
+
+} // namespace aaws
+
+#endif // AAWS_COMMON_STATS_H

@@ -1,0 +1,78 @@
+#include "dvfs/controller.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+DvfsController::DvfsController(const DvfsLookupTable &table,
+                               const DvfsPolicy &policy,
+                               std::vector<CoreType> core_types,
+                               const ModelParams &mp)
+    : table_(table), policy_(policy), core_types_(std::move(core_types)),
+      v_nom_(mp.v_nom), v_min_(mp.v_min), v_max_(mp.v_max)
+{
+    int n_big = 0;
+    int n_little = 0;
+    for (CoreType t : core_types_)
+        (t == CoreType::big ? n_big : n_little)++;
+    AAWS_ASSERT(n_big == table_.nBig() && n_little == table_.nLittle(),
+                "core types (%dB%dL) do not match table (%dB%dL)", n_big,
+                n_little, table_.nBig(), table_.nLittle());
+}
+
+std::vector<double>
+DvfsController::decide(const std::vector<bool> &active,
+                       int serial_core) const
+{
+    AAWS_ASSERT(static_cast<int>(active.size()) == numCores(),
+                "activity vector size mismatch");
+    std::vector<double> v(active.size(), v_nom_);
+
+    int n_big_active = 0;
+    int n_little_active = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+        if (active[i]) {
+            (core_types_[i] == CoreType::big ? n_big_active
+                                             : n_little_active)++;
+        }
+    }
+
+    if (serial_core >= 0 && policy_.serial_sprinting) {
+        // Truly serial region: sprint the one active core; other cores
+        // rest only if work-sprinting is available, else idle at nominal.
+        for (size_t i = 0; i < v.size(); ++i) {
+            if (static_cast<int>(i) == serial_core)
+                v[i] = v_max_;
+            else
+                v[i] = policy_.work_sprinting ? v_min_ : v_nom_;
+        }
+        return v;
+    }
+
+    bool all_active =
+        n_big_active == table_.nBig() && n_little_active == table_.nLittle();
+
+    if (all_active) {
+        if (!policy_.work_pacing)
+            return v; // asymmetry-oblivious: everyone at nominal
+        const DvfsTableEntry &e =
+            table_.at(n_big_active, n_little_active);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = core_types_[i] == CoreType::big ? e.v_big : e.v_little;
+        return v;
+    }
+
+    if (!policy_.work_sprinting)
+        return v; // waiting cores spin at nominal, active cores at nominal
+
+    const DvfsTableEntry &e = table_.at(n_big_active, n_little_active);
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (!active[i])
+            v[i] = v_min_;
+        else
+            v[i] = core_types_[i] == CoreType::big ? e.v_big : e.v_little;
+    }
+    return v;
+}
+
+} // namespace aaws

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Global lookup-table DVFS controller (Section III-A, Figure 6).
+ *
+ * The controller reads per-core activity bits (toggled by runtime hint
+ * instructions) plus a serial-region hint and produces a target supply
+ * voltage for every core:
+ *
+ *  - work-pacing: when every core is active, apply the marginal-utility
+ *    table entry for the fully active system (big cores slow down, little
+ *    cores speed up);
+ *  - work-sprinting: when some cores wait in the steal loop, rest them at
+ *    v_min and sprint the active cores with the table entry for the
+ *    current (active-big, active-little) counts;
+ *  - serial-sprinting: during a truly serial region, sprint the single
+ *    active core to v_max (included in the paper's *baseline* runtime).
+ *
+ * Timing (transition latency, decision locking) is handled by the
+ * simulator; this class is a pure activity -> voltages function.
+ */
+
+#ifndef AAWS_DVFS_CONTROLLER_H
+#define AAWS_DVFS_CONTROLLER_H
+
+#include <vector>
+
+#include "dvfs/lookup_table.h"
+
+namespace aaws {
+
+/** Which AAWS voltage techniques the controller applies. */
+struct DvfsPolicy
+{
+    /** Marginal-utility voltages when all cores are active (Sec. III-A). */
+    bool work_pacing = false;
+    /** Rest waiting cores and sprint active ones in LP regions. */
+    bool work_sprinting = false;
+    /** Sprint the single active core during true serial regions. */
+    bool serial_sprinting = true;
+};
+
+/**
+ * Pure decision function of the global DVFS controller.
+ */
+class DvfsController
+{
+  public:
+    /**
+     * @param table Borrowed lookup table; must outlive the controller.
+     * @param policy Enabled techniques.
+     * @param core_types Static core type of every physical core.
+     */
+    DvfsController(const DvfsLookupTable &table, const DvfsPolicy &policy,
+                   std::vector<CoreType> core_types, const ModelParams &mp);
+
+    /**
+     * Compute target voltages from the activity bits.
+     *
+     * @param active Activity bit per core (true = executing a task).
+     * @param serial_core Core executing a hinted truly-serial region, or
+     *                    -1 when no serial hint is raised.
+     */
+    std::vector<double> decide(const std::vector<bool> &active,
+                               int serial_core) const;
+
+    const DvfsPolicy &policy() const { return policy_; }
+    int numCores() const { return static_cast<int>(core_types_.size()); }
+
+  private:
+    const DvfsLookupTable &table_;
+    DvfsPolicy policy_;
+    std::vector<CoreType> core_types_;
+    double v_nom_;
+    double v_min_;
+    double v_max_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_DVFS_CONTROLLER_H

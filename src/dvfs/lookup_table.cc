@@ -1,0 +1,60 @@
+#include "dvfs/lookup_table.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+DvfsLookupTable::DvfsLookupTable(const FirstOrderModel &model, int n_big,
+                                 int n_little)
+    : n_big_(n_big), n_little_(n_little)
+{
+    AAWS_ASSERT(n_big >= 0 && n_little >= 0 && n_big + n_little > 0,
+                "bad machine shape %dB%dL", n_big, n_little);
+    MarginalUtilityOptimizer opt(model);
+    double v_nom = model.params().v_nom;
+    entries_.resize((n_big + 1) * (n_little + 1));
+    for (int ba = 0; ba <= n_big; ++ba) {
+        for (int la = 0; la <= n_little; ++la) {
+            DvfsTableEntry &entry =
+                entries_[ba * (n_little + 1) + la];
+            if (ba == 0 && la == 0) {
+                // Nothing active: voltages are unused; keep nominal.
+                entry = DvfsTableEntry{v_nom, v_nom, 1.0};
+                continue;
+            }
+            CoreActivity act;
+            act.n_big_active = ba;
+            act.n_little_active = la;
+            act.n_big_waiting = n_big - ba;
+            act.n_little_waiting = n_little - la;
+            OperatingPoint point =
+                opt.solve(act, opt.targetPower(act), /*feasible=*/true);
+            entry.v_big = ba > 0 ? point.v_big : v_nom;
+            entry.v_little = la > 0 ? point.v_little : v_nom;
+            entry.speedup = point.speedup;
+        }
+    }
+}
+
+void
+DvfsLookupTable::setEntry(int n_big_active, int n_little_active,
+                          const DvfsTableEntry &entry)
+{
+    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= n_big_ &&
+                n_little_active >= 0 && n_little_active <= n_little_,
+                "activity (%d,%d) outside %dB%dL table", n_big_active,
+                n_little_active, n_big_, n_little_);
+    entries_[n_big_active * (n_little_ + 1) + n_little_active] = entry;
+}
+
+const DvfsTableEntry &
+DvfsLookupTable::at(int n_big_active, int n_little_active) const
+{
+    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= n_big_ &&
+                n_little_active >= 0 && n_little_active <= n_little_,
+                "activity (%d,%d) outside %dB%dL table", n_big_active,
+                n_little_active, n_big_, n_little_);
+    return entries_[n_big_active * (n_little_ + 1) + n_little_active];
+}
+
+} // namespace aaws

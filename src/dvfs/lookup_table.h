@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lookup-table DVFS policy (Section III-A).
+ *
+ * The controller maps the number of active little cores and active big
+ * cores to per-type supply voltages.  For a 4B4L system there are five
+ * possible values of each count (0..4), i.e. a 25-entry table.  Each
+ * entry is generated offline from the marginal-utility optimizer using a
+ * single system-wide (alpha, beta) estimate; waiting cores rest at v_min
+ * and the power target is the all-nominal system power (Eq. 6).
+ */
+
+#ifndef AAWS_DVFS_LOOKUP_TABLE_H
+#define AAWS_DVFS_LOOKUP_TABLE_H
+
+#include <vector>
+
+#include "model/optimizer.h"
+
+namespace aaws {
+
+/** One (n_big_active, n_little_active) -> voltages entry. */
+struct DvfsTableEntry
+{
+    double v_big = 1.0;    ///< Voltage for active big cores.
+    double v_little = 1.0; ///< Voltage for active little cores.
+    double speedup = 1.0;  ///< Model-predicted speedup of the entry.
+};
+
+/**
+ * The full (N_B + 1) x (N_L + 1) voltage table for one machine shape.
+ */
+class DvfsLookupTable
+{
+  public:
+    /**
+     * Generate the table with the marginal-utility optimizer.
+     *
+     * @param model First-order model with the system-wide alpha/beta
+     *              estimates used by the hardware designer.
+     * @param n_big Total big cores in the machine.
+     * @param n_little Total little cores in the machine.
+     */
+    DvfsLookupTable(const FirstOrderModel &model, int n_big, int n_little);
+
+    /** Entry for the given active-core counts. */
+    const DvfsTableEntry &at(int n_big_active, int n_little_active) const;
+
+    int nBig() const { return n_big_; }
+    int nLittle() const { return n_little_; }
+
+    /** Number of entries ((N_B + 1) * (N_L + 1); 25 for 4B4L). */
+    int size() const { return static_cast<int>(entries_.size()); }
+
+    /**
+     * Overwrite one entry (adaptive controllers refine the table from
+     * observed performance/energy counters; Section III-A future work).
+     */
+    void setEntry(int n_big_active, int n_little_active,
+                  const DvfsTableEntry &entry);
+
+  private:
+    int n_big_;
+    int n_little_;
+    std::vector<DvfsTableEntry> entries_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_DVFS_LOOKUP_TABLE_H

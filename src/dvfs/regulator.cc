@@ -1,0 +1,30 @@
+#include "dvfs/regulator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+RegulatorModel::RegulatorModel(double ns_per_step, double volts_per_step)
+    : ns_per_step_(ns_per_step), volts_per_step_(volts_per_step)
+{
+    AAWS_ASSERT(ns_per_step >= 0.0, "negative transition latency");
+    AAWS_ASSERT(volts_per_step > 0.0, "non-positive voltage step");
+}
+
+double
+RegulatorModel::transitionSeconds(double v_from, double v_to) const
+{
+    double dv = std::fabs(v_to - v_from);
+    return (dv / volts_per_step_) * ns_per_step_ * 1e-9;
+}
+
+uint64_t
+RegulatorModel::transitionPs(double v_from, double v_to) const
+{
+    return static_cast<uint64_t>(
+        std::llround(transitionSeconds(v_from, v_to) * 1e12));
+}
+
+} // namespace aaws

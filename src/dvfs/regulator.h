@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fully-integrated voltage regulator transition model (Section IV-D).
+ *
+ * The paper measures, with SPICE-level models of integrated regulators in
+ * TSMC 65 nm LP, a 0.7 V -> 1.33 V transition of roughly 160 ns and models
+ * transitions linearly at 40 ns per 0.15 V step.  Cores execute *through*
+ * a transition at the lower of the old/new frequencies, and the DVFS
+ * controller may not issue a new decision until the in-flight transition
+ * completes.
+ */
+
+#ifndef AAWS_DVFS_REGULATOR_H
+#define AAWS_DVFS_REGULATOR_H
+
+#include <cstdint>
+
+namespace aaws {
+
+/** Linear-ramp regulator transition-cost model. */
+class RegulatorModel
+{
+  public:
+    /**
+     * @param ns_per_step Transition latency per voltage step (paper: 40).
+     * @param volts_per_step Voltage step granularity (paper: 0.15).
+     */
+    explicit RegulatorModel(double ns_per_step = 40.0,
+                            double volts_per_step = 0.15);
+
+    /** Transition latency in seconds between two voltages. */
+    double transitionSeconds(double v_from, double v_to) const;
+
+    /** Transition latency in picoseconds (simulator ticks). */
+    uint64_t transitionPs(double v_from, double v_to) const;
+
+    double nsPerStep() const { return ns_per_step_; }
+    double voltsPerStep() const { return volts_per_step_; }
+
+  private:
+    double ns_per_step_;
+    double volts_per_step_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_DVFS_REGULATOR_H

@@ -1,0 +1,85 @@
+#include "kernels/dag_builders.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+namespace {
+
+/** Recursive helper: build the range task for items[lo, hi). */
+uint32_t
+buildRange(TaskDag &dag, const std::vector<ForItem> &items, int64_t lo,
+           int64_t hi, int64_t grain, const DagCosts &costs)
+{
+    uint32_t t = dag.addTask();
+    if (hi - lo <= grain) {
+        dag.addWork(t, costs.leaf_setup);
+        for (int64_t i = lo; i < hi; ++i) {
+            dag.addWork(t, costs.per_iter + items[i].work);
+            if (items[i].call_task >= 0) {
+                dag.addCall(t,
+                            static_cast<uint32_t>(items[i].call_task));
+            }
+        }
+        return t;
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    dag.addWork(t, costs.split);
+    // Right half is spawned (stealable); left half is a plain call.
+    uint32_t right = buildRange(dag, items, mid, hi, grain, costs);
+    uint32_t left = buildRange(dag, items, lo, mid, grain, costs);
+    dag.addSpawn(t, right);
+    dag.addCall(t, left);
+    dag.addSync(t);
+    return t;
+}
+
+} // namespace
+
+uint32_t
+buildParallelFor(TaskDag &dag, const std::vector<ForItem> &items,
+                 int64_t grain, const DagCosts &costs)
+{
+    AAWS_ASSERT(!items.empty(), "empty parallel_for");
+    AAWS_ASSERT(grain >= 1, "grain must be at least 1, got %lld",
+                static_cast<long long>(grain));
+    return buildRange(dag, items, 0, static_cast<int64_t>(items.size()),
+                      grain, costs);
+}
+
+uint32_t
+buildParallelFor(TaskDag &dag, int64_t n,
+                 const std::function<uint64_t(int64_t)> &iter_work,
+                 int64_t grain, const DagCosts &costs)
+{
+    AAWS_ASSERT(n >= 1, "empty parallel_for");
+    std::vector<ForItem> items(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        items[i].work = iter_work(i);
+    return buildParallelFor(dag, items, grain, costs);
+}
+
+uint32_t
+buildUniformFor(TaskDag &dag, int64_t n, uint64_t per_item_work,
+                int64_t grain, const DagCosts &costs)
+{
+    return buildParallelFor(
+        dag, n, [per_item_work](int64_t) { return per_item_work; }, grain,
+        costs);
+}
+
+int64_t
+grainForTaskCount(int64_t n, int64_t target_tasks)
+{
+    AAWS_ASSERT(n >= 1 && target_tasks >= 1, "bad grain request");
+    // A binary decomposition into L leaves creates ~2L-1 tasks total.
+    int64_t leaves = std::max<int64_t>(1, (target_tasks + 1) / 2);
+    int64_t grain = n / leaves;
+    // Halving splits mean leaf count snaps to powers of two; the exact
+    // task count is checked by calibration tests, not here.
+    return std::max<int64_t>(1, grain);
+}
+
+} // namespace aaws

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Builders that translate parallel constructs into task DAGs.
+ *
+ * `buildParallelFor` mirrors the runtime's automatic recursive
+ * decomposition of a loop range (TBB simple_partitioner style, Section
+ * IV-C): a range task splits in half, *spawns* the right half onto the
+ * deque (stealable) and *calls* the left half inline, until ranges reach
+ * the grain size and execute the loop body.  Splitting and per-iteration
+ * loop control cost instructions, which is why the parallel versions of
+ * the paper's kernels execute more dynamic instructions than the serial
+ * versions.
+ */
+
+#ifndef AAWS_KERNELS_DAG_BUILDERS_H
+#define AAWS_KERNELS_DAG_BUILDERS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kernels/task_dag.h"
+
+namespace aaws {
+
+/** Instruction overheads of the modeled runtime constructs. */
+struct DagCosts
+{
+    /** Range-task split: compute midpoint, construct child tasks. */
+    uint64_t split = 90;
+    /** Leaf-task setup: closure load, range registers, loop preamble. */
+    uint64_t leaf_setup = 60;
+    /** Per-iteration loop control (index increment, bound check, call). */
+    uint64_t per_iter = 4;
+};
+
+/** One loop iteration: body work plus an optional nested task to call. */
+struct ForItem
+{
+    uint64_t work = 0;
+    /** Nested task executed inline by the iteration (-1 = none). */
+    int32_t call_task = -1;
+};
+
+/**
+ * Build a recursively decomposed parallel_for over explicit items.
+ *
+ * @param dag   DAG under construction.
+ * @param items Per-iteration body costs (and optional nested tasks).
+ * @param grain Maximum iterations per leaf task.
+ * @param costs Runtime overhead constants.
+ * @return Root task id of the loop.
+ */
+uint32_t buildParallelFor(TaskDag &dag, const std::vector<ForItem> &items,
+                          int64_t grain, const DagCosts &costs = DagCosts{});
+
+/**
+ * Build a parallel_for of `n` iterations with per-index body cost given
+ * by `iter_work` (convenience wrapper over the explicit-items form that
+ * avoids materializing the item vector twice).
+ */
+uint32_t buildParallelFor(TaskDag &dag, int64_t n,
+                          const std::function<uint64_t(int64_t)> &iter_work,
+                          int64_t grain, const DagCosts &costs = DagCosts{});
+
+/**
+ * Build a parallel_for of `n` iterations of uniform body cost.
+ */
+uint32_t buildUniformFor(TaskDag &dag, int64_t n, uint64_t per_item_work,
+                         int64_t grain, const DagCosts &costs = DagCosts{});
+
+/**
+ * Choose a grain so an `n`-iteration loop yields roughly `target_tasks`
+ * tasks (counting both split and leaf tasks); clamps to at least 1.
+ */
+int64_t grainForTaskCount(int64_t n, int64_t target_tasks);
+
+} // namespace aaws
+
+#endif // AAWS_KERNELS_DAG_BUILDERS_H

@@ -1,0 +1,117 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "kernels/generators.h"
+
+namespace aaws {
+
+namespace {
+
+/**
+ * Cilk matmul recursion: split the largest dimension in half.  Splits of
+ * m or n yield independent halves (spawn + call + sync); splits of k
+ * write the same output block and must run sequentially (call + call).
+ */
+uint32_t
+buildMatmul(TaskDag &dag, int64_t m, int64_t n, int64_t k,
+            uint64_t flop_threshold, uint64_t instr_per_flop)
+{
+    uint32_t t = dag.addTask();
+    auto flops = static_cast<uint64_t>(m) * n * k;
+    if (flops <= flop_threshold) {
+        dag.addWork(t, instr_per_flop * flops + 120);
+        return t;
+    }
+    dag.addWork(t, 95);
+    if (m >= n && m >= k) {
+        uint32_t top = buildMatmul(dag, m / 2, n, k, flop_threshold,
+                                   instr_per_flop);
+        uint32_t bottom = buildMatmul(dag, m - m / 2, n, k,
+                                      flop_threshold, instr_per_flop);
+        dag.addSpawn(t, top);
+        dag.addCall(t, bottom);
+        dag.addSync(t);
+    } else if (n >= k) {
+        uint32_t lhs = buildMatmul(dag, m, n / 2, k, flop_threshold,
+                                   instr_per_flop);
+        uint32_t rhs = buildMatmul(dag, m, n - n / 2, k, flop_threshold,
+                                   instr_per_flop);
+        dag.addSpawn(t, lhs);
+        dag.addCall(t, rhs);
+        dag.addSync(t);
+    } else {
+        // k-split: both halves accumulate into the same C block.
+        uint32_t first = buildMatmul(dag, m, n, k / 2, flop_threshold,
+                                     instr_per_flop);
+        uint32_t second = buildMatmul(dag, m, n, k - k / 2,
+                                      flop_threshold, instr_per_flop);
+        dag.addCall(t, first);
+        dag.addCall(t, second);
+    }
+    return t;
+}
+
+} // namespace
+
+TaskDag
+genMatmul(Rng &rng)
+{
+    (void)rng;
+    TaskDag dag;
+    dag.addPhase(/*serial_work=*/900000, -1); // operand initialization
+    uint32_t root = buildMatmul(dag, 200, 200, 200,
+                                /*flop_threshold=*/14000,
+                                /*instr_per_flop=*/8);
+    dag.addPhase(/*serial_work=*/100000, static_cast<int32_t>(root));
+    return dag;
+}
+
+TaskDag
+genClsky(Rng &rng)
+{
+    // Blocked right-looking Cholesky: per step k, a panel factorization,
+    // a parallel column of triangular solves, then a parallel trailing
+    // update; parallelism shrinks as k grows, producing the large LP
+    // regions the paper highlights for clsky.
+    constexpr int kNb = 27;
+    TaskDag dag;
+    dag.addPhase(/*serial_work=*/500000, -1);
+
+    uint32_t root = dag.addTask();
+    dag.addWork(root, 400);
+    auto block_work = [&rng](uint64_t base) {
+        return base + rng.below(base / 4 + 1);
+    };
+    for (int k = 0; k < kNb; ++k) {
+        // Panel factorization of the diagonal block (sequential).
+        uint32_t potrf = dag.addTask();
+        dag.addWork(potrf, block_work(14000));
+        dag.addCall(root, potrf);
+
+        // Triangular solves of the column below the diagonal.
+        int col = kNb - k - 1;
+        for (int i = 0; i < col; ++i) {
+            uint32_t trsm = dag.addTask();
+            dag.addWork(trsm, block_work(10500));
+            dag.addSpawn(root, trsm);
+        }
+        if (col > 0)
+            dag.addSync(root);
+
+        // Trailing-matrix update (lower triangle of the remainder).
+        int updates = col * (col + 1) / 2;
+        for (int u = 0; u < updates; ++u) {
+            uint32_t gemm = dag.addTask();
+            dag.addWork(gemm, block_work(10000));
+            dag.addSpawn(root, gemm);
+        }
+        if (updates > 0)
+            dag.addSync(root);
+    }
+    dag.addPhase(/*serial_work=*/60000, static_cast<int32_t>(root));
+    return dag;
+}
+
+} // namespace aaws

@@ -1,0 +1,99 @@
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "kernels/generators.h"
+
+namespace aaws {
+
+namespace {
+
+/**
+ * UTS-style geometric tree: expected child count decays geometrically
+ * with depth, so subtree sizes are wildly unbalanced (the benchmark's
+ * whole point).  Children are spawned one at a time with a sync at the
+ * end, exactly how the Cilk UTS port expresses the search.
+ */
+uint32_t
+buildUtsNode(TaskDag &dag, Rng &rng, int depth, double b0, double decay,
+             int max_depth, uint64_t node_work_mean)
+{
+    uint32_t t = dag.addTask();
+    // SHA-1-style hash evaluations dominate each node's work.
+    double jitter = 0.7 + 0.6 * rng.uniform();
+    dag.addWork(t, static_cast<uint64_t>(node_work_mean * jitter));
+    if (depth >= max_depth)
+        return t;
+    double mean_children = b0 * std::pow(decay, depth);
+    // Sample a child count: floor(mean) plus a Bernoulli for the rest.
+    auto k = static_cast<int>(mean_children);
+    if (rng.uniform() < mean_children - k)
+        k++;
+    bool spawned = false;
+    for (int c = 0; c < k; ++c) {
+        uint32_t child = buildUtsNode(dag, rng, depth + 1, b0, decay,
+                                      max_depth, node_work_mean);
+        dag.addSpawn(t, child);
+        spawned = true;
+    }
+    if (spawned)
+        dag.addSync(t);
+    return t;
+}
+
+/**
+ * Knapsack branch-and-bound: every node is tiny (~0.3K instructions)
+ * and spawns up to two children unless the bound prunes the branch.
+ */
+uint32_t
+buildKsackNode(TaskDag &dag, Rng &rng, int depth, int max_depth,
+               double survive_prob)
+{
+    uint32_t t = dag.addTask();
+    dag.addWork(t, 330 + rng.below(140));
+    if (depth >= max_depth)
+        return t;
+    bool spawned = false;
+    for (int c = 0; c < 2; ++c) {
+        if (!rng.chance(survive_prob))
+            continue; // pruned by the bound
+        uint32_t child = buildKsackNode(dag, rng, depth + 1, max_depth,
+                                        survive_prob);
+        dag.addSpawn(t, child);
+        spawned = true;
+    }
+    if (spawned)
+        dag.addSync(t);
+    return t;
+}
+
+} // namespace
+
+TaskDag
+genUts(Rng &rng)
+{
+    TaskDag dag;
+    dag.addPhase(/*serial_work=*/300000, -1);
+    // b0 = 6 with geometric decay tuned so the tree has ~1300 nodes.
+    uint32_t root = buildUtsNode(dag, rng, /*depth=*/0, /*b0=*/6.0,
+                                 /*decay=*/0.715, /*max_depth=*/16,
+                                 /*node_work_mean=*/49000);
+    dag.addPhase(/*serial_work=*/50000, static_cast<int32_t>(root));
+    return dag;
+}
+
+TaskDag
+genKsack(Rng &rng)
+{
+    TaskDag dag;
+    dag.addPhase(/*serial_work=*/200000, -1);
+    // Survival probability 0.70 on two children gives a branching
+    // factor of 1.4 capped at depth 30: ~80K nodes in expectation.
+    uint32_t root = buildKsackNode(dag, rng, /*depth=*/0,
+                                   /*max_depth=*/30,
+                                   /*survive_prob=*/0.70);
+    dag.addPhase(/*serial_work=*/30000, static_cast<int32_t>(root));
+    return dag;
+}
+
+} // namespace aaws

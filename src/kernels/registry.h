@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel registry: name -> (Table III parameters, generated task DAG).
+ */
+
+#ifndef AAWS_KERNELS_REGISTRY_H
+#define AAWS_KERNELS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "kernels/table3.h"
+#include "kernels/task_dag.h"
+
+namespace aaws {
+
+/** A fully instantiated application kernel ready for simulation. */
+struct Kernel
+{
+    /** Published Table III row (also supplies per-kernel alpha/beta). */
+    PaperKernelStats stats;
+    /** Generated task graph. */
+    TaskDag dag;
+};
+
+/** Names of all 22 kernels, in Table III order. */
+std::vector<std::string> kernelNames();
+
+/**
+ * Instantiate a kernel by name; fatal() on unknown names.
+ *
+ * @param seed Workload-synthesis seed; equal seeds give identical DAGs.
+ */
+Kernel makeKernel(const std::string &name, uint64_t seed = 0xA57'5EEDull);
+
+} // namespace aaws
+
+#endif // AAWS_KERNELS_REGISTRY_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Published per-kernel statistics from Table III of the paper.
+ *
+ * These rows serve three purposes: (1) per-kernel alpha (ERatio) and beta
+ * (O3 speedup) parameterize the simulated cores when running that kernel,
+ * exactly as the paper's gem5+VLSI flow measured them per application;
+ * (2) the task-graph generators are calibrated against the DInsts / task
+ * count / task size columns; (3) the Table III reproduction bench prints
+ * paper-vs-measured values side by side.
+ */
+
+#ifndef AAWS_KERNELS_TABLE3_H
+#define AAWS_KERNELS_TABLE3_H
+
+#include <string>
+#include <vector>
+
+namespace aaws {
+
+/** One row of the paper's Table III. */
+struct PaperKernelStats
+{
+    const char *name;
+    const char *suite;
+    const char *input;
+    /** Parallelization method: "p", "np", "rss", or "p,rss". */
+    const char *pm;
+    /** Dynamic instructions of the parallel version, millions. */
+    double dinsts_m;
+    /** Number of tasks. */
+    int num_tasks;
+    /** Average task size, thousands of instructions. */
+    double task_kinstr;
+    /** Cycles of the optimized serial version on the in-order core (M). */
+    double io_cyc_m;
+    /** Serial big/little energy ratio (alpha in Section II-A). */
+    double alpha;
+    /** Serial big/little speedup (beta in Section II-A). */
+    double beta;
+    /** Paper speedups of the parallel version on each system. */
+    double speedup_1b7l_vs_o3;
+    double speedup_1b7l_vs_io;
+    double speedup_4b4l_vs_o3;
+    double speedup_4b4l_vs_io;
+    /** L2 misses per thousand instructions on one core. */
+    double mpki;
+
+    /**
+     * Little-core IPC implied by the row (serial instructions over
+     * serial in-order cycles, with a small discount for the parallel
+     * version's extra task-management instructions).
+     */
+    double ipcLittle() const;
+
+    /** Big-core IPC: beta times the little-core IPC. */
+    double ipcBig() const { return beta * ipcLittle(); }
+};
+
+/** All 22 rows of Table III, in the paper's order. */
+const std::vector<PaperKernelStats> &table3();
+
+/** Row for the named kernel; fatal() on unknown names. */
+const PaperKernelStats &table3Row(const std::string &name);
+
+} // namespace aaws
+
+#endif // AAWS_KERNELS_TABLE3_H

@@ -1,0 +1,196 @@
+#include "kernels/task_dag.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+uint32_t
+TaskDag::addTask()
+{
+    tasks_.emplace_back();
+    return static_cast<uint32_t>(tasks_.size() - 1);
+}
+
+void
+TaskDag::addWork(uint32_t t, uint64_t instructions)
+{
+    if (instructions == 0)
+        return;
+    AAWS_ASSERT(t < tasks_.size(), "bad task id %u", t);
+    auto &ops = tasks_[t].ops;
+    if (!ops.empty() && ops.back().kind == OpKind::work)
+        ops.back().arg += instructions;
+    else
+        ops.push_back({OpKind::work, instructions});
+}
+
+void
+TaskDag::addSpawn(uint32_t t, uint32_t child)
+{
+    AAWS_ASSERT(t < tasks_.size() && child < tasks_.size(),
+                "bad spawn %u -> %u", t, child);
+    AAWS_ASSERT(child != t, "task %u cannot spawn itself", t);
+    tasks_[t].ops.push_back({OpKind::spawn, child});
+}
+
+void
+TaskDag::addCall(uint32_t t, uint32_t child)
+{
+    AAWS_ASSERT(t < tasks_.size() && child < tasks_.size(),
+                "bad call %u -> %u", t, child);
+    AAWS_ASSERT(child != t, "task %u cannot call itself", t);
+    tasks_[t].ops.push_back({OpKind::call, child});
+}
+
+void
+TaskDag::addSync(uint32_t t)
+{
+    AAWS_ASSERT(t < tasks_.size(), "bad task id %u", t);
+    tasks_[t].ops.push_back({OpKind::sync, 0});
+}
+
+void
+TaskDag::addPhase(uint64_t serial_work, int32_t root)
+{
+    AAWS_ASSERT(root == -1 ||
+                (root >= 0 && static_cast<size_t>(root) < tasks_.size()),
+                "bad phase root %d", root);
+    phases_.push_back({serial_work, root});
+}
+
+uint64_t
+TaskDag::totalTaskWork() const
+{
+    uint64_t sum = 0;
+    for (const auto &task : tasks_)
+        for (const auto &op : task.ops)
+            if (op.kind == OpKind::work)
+                sum += op.arg;
+    return sum;
+}
+
+uint64_t
+TaskDag::totalSerialWork() const
+{
+    uint64_t sum = 0;
+    for (const auto &phase : phases_)
+        sum += phase.serial_work;
+    return sum;
+}
+
+uint64_t
+TaskDag::totalWork() const
+{
+    return totalTaskWork() + totalSerialWork();
+}
+
+uint64_t
+TaskDag::criticalPathOf(uint32_t t, std::vector<uint64_t> &memo) const
+{
+    if (memo[t] != UINT64_MAX)
+        return memo[t];
+    uint64_t local = 0;
+    uint64_t pending_max = 0; // completion bound of spawned children
+    for (const auto &op : tasks_[t].ops) {
+        switch (op.kind) {
+          case OpKind::work:
+            local += op.arg;
+            break;
+          case OpKind::spawn:
+            pending_max = std::max(
+                pending_max,
+                local + criticalPathOf(static_cast<uint32_t>(op.arg),
+                                       memo));
+            break;
+          case OpKind::call:
+            local += criticalPathOf(static_cast<uint32_t>(op.arg), memo);
+            break;
+          case OpKind::sync:
+            local = std::max(local, pending_max);
+            pending_max = 0;
+            break;
+        }
+    }
+    // Fully strict programs join outstanding children at task end.
+    local = std::max(local, pending_max);
+    memo[t] = local;
+    return local;
+}
+
+uint64_t
+TaskDag::criticalPathWork() const
+{
+    std::vector<uint64_t> memo(tasks_.size(), UINT64_MAX);
+    uint64_t span = 0;
+    for (const auto &phase : phases_) {
+        span += phase.serial_work;
+        if (phase.root_task >= 0) {
+            span += criticalPathOf(static_cast<uint32_t>(phase.root_task),
+                                   memo);
+        }
+    }
+    return span;
+}
+
+double
+TaskDag::avgTaskWork() const
+{
+    if (tasks_.empty())
+        return 0.0;
+    return static_cast<double>(totalTaskWork()) /
+           static_cast<double>(tasks_.size());
+}
+
+void
+TaskDag::validate() const
+{
+    std::vector<int> refs(tasks_.size(), 0);
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+        for (const auto &op : tasks_[t].ops) {
+            if (op.kind == OpKind::spawn || op.kind == OpKind::call) {
+                AAWS_ASSERT(op.arg < tasks_.size(),
+                            "task %zu references missing task %llu", t,
+                            static_cast<unsigned long long>(op.arg));
+                refs[op.arg]++;
+            }
+        }
+    }
+    for (const auto &phase : phases_) {
+        if (phase.root_task >= 0)
+            refs[phase.root_task]++;
+    }
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+        AAWS_ASSERT(refs[t] <= 1,
+                    "task %zu referenced %d times (tree structure "
+                    "violated)", t, refs[t]);
+    }
+    // Explicit reachability from the phase roots: together with the
+    // reference-once property above this proves the spawn/call structure
+    // is a forest rooted at the phases (and therefore acyclic).
+    std::vector<bool> reachable(tasks_.size(), false);
+    std::vector<uint32_t> stack;
+    for (const auto &phase : phases_) {
+        if (phase.root_task >= 0)
+            stack.push_back(static_cast<uint32_t>(phase.root_task));
+    }
+    size_t num_reachable = 0;
+    while (!stack.empty()) {
+        uint32_t t = stack.back();
+        stack.pop_back();
+        if (reachable[t])
+            continue;
+        reachable[t] = true;
+        num_reachable++;
+        for (const auto &op : tasks_[t].ops) {
+            if (op.kind == OpKind::spawn || op.kind == OpKind::call)
+                stack.push_back(static_cast<uint32_t>(op.arg));
+        }
+    }
+    AAWS_ASSERT(num_reachable == tasks_.size(),
+                "%zu task(s) are unreachable from any phase",
+                tasks_.size() - num_reachable);
+}
+
+} // namespace aaws

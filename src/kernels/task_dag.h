@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Task-graph representation of an application kernel.
+ *
+ * A kernel is modeled as the task structure a child-stealing runtime
+ * would create (Section IV-C): every task is a small program over four
+ * operations --
+ *
+ *   work n   : execute n instructions of the task body
+ *   spawn t  : push child task t onto the worker's deque (stealable)
+ *   call t   : execute child task t inline (a plain function call, the
+ *              "left half" of a recursive decomposition; not stealable)
+ *   sync     : wait until every task spawned *by this task* so far has
+ *              completed (fully strict join)
+ *
+ * -- and the whole application is a sequence of phases executed by
+ * logical thread 0: an optional truly-serial region followed by an
+ * optional parallel region rooted at one task.  This is exactly the
+ * structure of the paper's fully strict benchmark programs, and the
+ * phase boundary is where the serial-region hint instructions fire.
+ *
+ * The DAG carries *algorithmic* work only; per-operation runtime costs
+ * (enqueue, steal, sync checks) are charged by the simulator cost model.
+ */
+
+#ifndef AAWS_KERNELS_TASK_DAG_H
+#define AAWS_KERNELS_TASK_DAG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aaws {
+
+/** Operation kind inside a task program. */
+enum class OpKind : uint8_t { work, spawn, call, sync };
+
+/** One operation of a task program. */
+struct TaskOp
+{
+    OpKind kind;
+    /** work: instruction count; spawn/call: child task id; sync: unused. */
+    uint64_t arg;
+};
+
+/** One task: a straight-line program of operations. */
+struct Task
+{
+    std::vector<TaskOp> ops;
+};
+
+/** One application phase executed by logical thread 0. */
+struct Phase
+{
+    /** Truly-serial instructions before the parallel region (may be 0). */
+    uint64_t serial_work = 0;
+    /** Root task of the parallel region, or -1 for a pure-serial phase. */
+    int32_t root_task = -1;
+};
+
+/**
+ * A whole kernel: tasks plus the phase sequence of logical thread 0.
+ */
+class TaskDag
+{
+  public:
+    /** Append an empty task and return its id. */
+    uint32_t addTask();
+
+    /** Append `instructions` of body work to task `t` (coalesces). */
+    void addWork(uint32_t t, uint64_t instructions);
+
+    /** Append a spawn of `child` to task `t`. */
+    void addSpawn(uint32_t t, uint32_t child);
+
+    /** Append an inline call of `child` to task `t`. */
+    void addCall(uint32_t t, uint32_t child);
+
+    /** Append a sync (join with all children spawned so far) to `t`. */
+    void addSync(uint32_t t);
+
+    /** Append a phase. Pass root = -1 for a pure serial phase. */
+    void addPhase(uint64_t serial_work, int32_t root);
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    const Task &task(uint32_t t) const { return tasks_[t]; }
+
+    /** Number of tasks (the paper's "Num Tasks" counts spawned tasks). */
+    size_t numTasks() const { return tasks_.size(); }
+
+    /** Total body work across all tasks, in instructions. */
+    uint64_t totalTaskWork() const;
+
+    /** Total truly-serial work across phases, in instructions. */
+    uint64_t totalSerialWork() const;
+
+    /** totalTaskWork() + totalSerialWork(). */
+    uint64_t totalWork() const;
+
+    /** Length of the critical path in instructions (span; T_inf). */
+    uint64_t criticalPathWork() const;
+
+    /** Average body work per task in instructions; 0 with no tasks. */
+    double avgTaskWork() const;
+
+    /**
+     * Check structural invariants, panicking on violation:
+     * every child is referenced exactly once, no task reaches itself
+     * (tree-shaped spawn/call structure), every phase root is valid, and
+     * every referenced task id exists.
+     */
+    void validate() const;
+
+  private:
+    uint64_t criticalPathOf(uint32_t t,
+                            std::vector<uint64_t> &memo) const;
+
+    std::vector<Task> tasks_;
+    std::vector<Phase> phases_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_KERNELS_TASK_DAG_H

@@ -1,0 +1,38 @@
+#include "model/surface.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+std::vector<SurfaceCell>
+speedupSurface(const ModelParams &base, const CoreActivity &activity,
+               double alpha_lo, double alpha_hi, int alpha_steps,
+               double beta_lo, double beta_hi, int beta_steps)
+{
+    AAWS_ASSERT(alpha_steps >= 1 && beta_steps >= 1, "bad step counts");
+    std::vector<SurfaceCell> cells;
+    cells.reserve((alpha_steps + 1) * (beta_steps + 1));
+    for (int i = 0; i <= alpha_steps; ++i) {
+        double alpha = alpha_lo + (alpha_hi - alpha_lo) * i / alpha_steps;
+        for (int j = 0; j <= beta_steps; ++j) {
+            double beta = beta_lo + (beta_hi - beta_lo) * j / beta_steps;
+            ModelParams p = base;
+            p.alpha = alpha;
+            p.beta = beta;
+            FirstOrderModel model(p);
+            MarginalUtilityOptimizer opt(model);
+            double target = opt.targetPower(activity);
+            SurfaceCell cell;
+            cell.alpha = alpha;
+            cell.beta = beta;
+            cell.optimal_speedup =
+                opt.solve(activity, target, /*feasible=*/false).speedup;
+            cell.feasible_speedup =
+                opt.solve(activity, target, /*feasible=*/true).speedup;
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+} // namespace aaws

@@ -1,0 +1,132 @@
+#include "runtime/central_queue.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+CentralQueuePool::CentralQueuePool(int threads)
+{
+    AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
+    threads_.reserve(threads - 1);
+    for (int i = 1; i < threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+CentralQueuePool::~CentralQueuePool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        cv_.notify_all();
+    }
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+CentralQueuePool::spawn(std::function<void()> fn)
+{
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(fn));
+        cv_.notify_one();
+    }
+}
+
+bool
+CentralQueuePool::takeOne()
+{
+    std::function<void()> fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    fn();
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+}
+
+void
+CentralQueuePool::helpUntilIdle()
+{
+    while (pending_.load(std::memory_order_acquire) > 0) {
+        if (!takeOne())
+            std::this_thread::yield();
+    }
+}
+
+void
+CentralQueuePool::forRange(int64_t lo, int64_t hi, int64_t grain,
+                           const std::function<void(int64_t, int64_t)> &body,
+                           std::atomic<int64_t> &outstanding)
+{
+    if (hi - lo <= grain) {
+        body(lo, hi);
+        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    outstanding.fetch_add(1, std::memory_order_acq_rel);
+    spawn([this, mid, hi, grain, &body, &outstanding] {
+        forRange(mid, hi, grain, body, outstanding);
+    });
+    forRange(lo, mid, grain, body, outstanding);
+}
+
+void
+CentralQueuePool::parallelFor(
+        int64_t lo, int64_t hi, int64_t grain,
+        const std::function<void(int64_t, int64_t)> &body)
+{
+    if (hi <= lo)
+        return;
+    std::atomic<int64_t> outstanding{1};
+    forRange(lo, hi, grain, body, outstanding);
+    while (outstanding.load(std::memory_order_acquire) > 0) {
+        if (!takeOne())
+            std::this_thread::yield();
+    }
+}
+
+void
+CentralQueuePool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        auto fn = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        fn();
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        lock.lock();
+    }
+}
+
+void
+asyncChunkedFor(int64_t lo, int64_t hi, int threads,
+                const std::function<void(int64_t, int64_t)> &body)
+{
+    if (hi <= lo)
+        return;
+    int64_t chunks = std::max<int64_t>(1, 4LL * threads);
+    int64_t chunk = std::max<int64_t>(1, (hi - lo + chunks - 1) / chunks);
+    std::vector<std::future<void>> futures;
+    for (int64_t start = lo; start < hi; start += chunk) {
+        int64_t end = std::min(hi, start + chunk);
+        futures.push_back(std::async(std::launch::async,
+                                     [start, end, &body] {
+                                         body(start, end);
+                                     }));
+    }
+    for (auto &future : futures)
+        future.get();
+}
+
+} // namespace aaws

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Comparison schedulers for the Table II experiment.
+ *
+ * Intel Cilk++/TBB are not available offline, so the baseline
+ * work-stealing runtime is compared against the two classic alternative
+ * scheduler designs (see DESIGN.md):
+ *
+ *  - CentralQueuePool: work *sharing* through one mutex-protected global
+ *    queue (what work stealing is usually measured against);
+ *  - asyncChunkedFor: one std::async task per chunk, the "no runtime"
+ *    strawman built from the standard library alone.
+ */
+
+#ifndef AAWS_RUNTIME_CENTRAL_QUEUE_H
+#define AAWS_RUNTIME_CENTRAL_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aaws {
+
+/**
+ * Work-sharing pool: every spawn goes through one central queue.
+ */
+class CentralQueuePool
+{
+  public:
+    explicit CentralQueuePool(int threads);
+    ~CentralQueuePool();
+
+    CentralQueuePool(const CentralQueuePool &) = delete;
+    CentralQueuePool &operator=(const CentralQueuePool &) = delete;
+
+    int numWorkers() const { return static_cast<int>(threads_.size()) + 1; }
+
+    /** Spawn a task into the central queue. */
+    void spawn(std::function<void()> fn);
+
+    /** Execute queued tasks until `pending` drops to zero. */
+    void helpUntilIdle();
+
+    /**
+     * Recursive-decomposition parallel_for over the central queue (the
+     * same splitting as the work-stealing runtime, different scheduler).
+     */
+    void parallelFor(int64_t lo, int64_t hi, int64_t grain,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+  private:
+    void forRange(int64_t lo, int64_t hi, int64_t grain,
+                  const std::function<void(int64_t, int64_t)> &body,
+                  std::atomic<int64_t> &outstanding);
+    bool takeOne();
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    std::atomic<int64_t> pending_{0};
+    bool stop_ = false;
+};
+
+/**
+ * std::async-per-chunk parallel_for: splits [lo, hi) into ~4x hardware
+ * chunks and prices one async task per chunk.
+ */
+void asyncChunkedFor(int64_t lo, int64_t hi, int threads,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_CENTRAL_QUEUE_H

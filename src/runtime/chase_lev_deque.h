@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Lock-free Chase-Lev work-stealing deque [Chase & Lev, SPAA'05] with the
+ * C11-memory-model orderings of Le et al. (PPoPP'13).
+ *
+ * The owner pushes and pops at the *bottom*; thieves steal from the
+ * *top*.  The buffer grows geometrically; retired buffers are kept alive
+ * until destruction so racing thieves never read freed memory (the
+ * classic leak-until-quiescence reclamation scheme, bounded because
+ * growth doubles capacity).
+ */
+
+#ifndef AAWS_RUNTIME_CHASE_LEV_DEQUE_H
+#define AAWS_RUNTIME_CHASE_LEV_DEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace aaws {
+
+/**
+ * Work-stealing deque of trivially copyable elements (task pointers).
+ *
+ * Thread-safety contract: exactly one owner thread may call push()/pop();
+ * any number of threads may call steal() concurrently.
+ */
+template <typename T>
+class ChaseLevDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "deque elements must be trivially copyable");
+
+  public:
+    explicit ChaseLevDeque(int64_t initial_capacity = 64)
+        : top_(0), bottom_(0)
+    {
+        buffers_.push_back(
+            std::make_unique<Buffer>(roundUp(initial_capacity)));
+        buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+    }
+
+    ChaseLevDeque(const ChaseLevDeque &) = delete;
+    ChaseLevDeque &operator=(const ChaseLevDeque &) = delete;
+
+    /** Owner: push an element at the bottom. */
+    void
+    push(T value)
+    {
+        int64_t b = bottom_.load(std::memory_order_relaxed);
+        int64_t t = top_.load(std::memory_order_acquire);
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        if (b - t > buf->capacity - 1)
+            buf = grow(buf, t, b);
+        buf->put(b, value);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Owner: pop the most recently pushed element.
+     * @return true and set `out` on success; false when empty.
+     */
+    bool
+    pop(T &out)
+    {
+        int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Buffer *buf = buffer_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_relaxed);
+        if (t > b) {
+            // Deque was empty: restore.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = buf->get(b);
+        if (t == b) {
+            // Last element: race against thieves for it.
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return false;
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return true;
+    }
+
+    /**
+     * Thief: steal the oldest element.
+     * @return true and set `out` on success; false when empty or lost a
+     *         race (callers treat both as a failed attempt).
+     */
+    bool
+    steal(T &out)
+    {
+        int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return false;
+        Buffer *buf = buffer_.load(std::memory_order_consume);
+        T value = buf->get(t);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return false;
+        }
+        out = value;
+        return true;
+    }
+
+    /**
+     * Approximate occupancy for occupancy-based victim selection.  May
+     * be momentarily stale; never negative.
+     */
+    int64_t
+    sizeEstimate() const
+    {
+        int64_t b = bottom_.load(std::memory_order_relaxed);
+        int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? b - t : 0;
+    }
+
+  private:
+    struct Buffer
+    {
+        explicit Buffer(int64_t cap)
+            : capacity(cap), mask(cap - 1),
+              slots(std::make_unique<std::atomic<T>[]>(cap))
+        {
+        }
+
+        T
+        get(int64_t i) const
+        {
+            return slots[i & mask].load(std::memory_order_relaxed);
+        }
+
+        void
+        put(int64_t i, T value)
+        {
+            slots[i & mask].store(value, std::memory_order_relaxed);
+        }
+
+        int64_t capacity;
+        int64_t mask;
+        std::unique_ptr<std::atomic<T>[]> slots;
+    };
+
+    static int64_t
+    roundUp(int64_t v)
+    {
+        int64_t cap = 8;
+        while (cap < v)
+            cap <<= 1;
+        return cap;
+    }
+
+    Buffer *
+    grow(Buffer *old, int64_t t, int64_t b)
+    {
+        auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+        for (int64_t i = t; i < b; ++i)
+            bigger->put(i, old->get(i));
+        Buffer *raw = bigger.get();
+        buffers_.push_back(std::move(bigger));
+        buffer_.store(raw, std::memory_order_release);
+        return raw;
+    }
+
+    std::atomic<int64_t> top_;
+    std::atomic<int64_t> bottom_;
+    std::atomic<Buffer *> buffer_;
+    /** Owner-only: every buffer ever used, freed at destruction. */
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_CHASE_LEV_DEQUE_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scheduler hooks: the software half of the paper's hint-instruction
+ * interface (Section III-A) on the *native* runtime.
+ *
+ * On the paper's hardware, the runtime executes a hint instruction that
+ * toggles a per-core activity bit after the second failed steal attempt
+ * and again when work is found; the DVFS controller reads the bits.  On
+ * commodity hardware there is no DVFS controller to inform, but the
+ * same instrumentation points are exposed as virtual hooks so users can
+ * attach governors, profilers, or (as `ActivityMonitor` does) maintain
+ * the active-worker census the AAWS controller would see.
+ */
+
+#ifndef AAWS_RUNTIME_HOOKS_H
+#define AAWS_RUNTIME_HOOKS_H
+
+#include <atomic>
+
+namespace aaws {
+
+/**
+ * Observer of per-worker activity transitions.  Callbacks may run
+ * concurrently from different workers but never concurrently for the
+ * same worker index.
+ */
+class SchedulerHooks
+{
+  public:
+    virtual ~SchedulerHooks() = default;
+
+    /** Worker found work after having signalled waiting. */
+    virtual void onWorkerActive(int worker) { (void)worker; }
+
+    /**
+     * Worker's second consecutive failed steal attempt (the paper's
+     * trigger for toggling the activity bit to waiting).
+     */
+    virtual void onWorkerWaiting(int worker) { (void)worker; }
+};
+
+/**
+ * Maintains the active-worker count, i.e. the activity-bit census the
+ * paper's DVFS controller reads.
+ */
+class ActivityMonitor : public SchedulerHooks
+{
+  public:
+    /** @param workers Total workers; all start in the active state. */
+    explicit ActivityMonitor(int workers) : active_(workers) {}
+
+    void
+    onWorkerActive(int worker) override
+    {
+        (void)worker;
+        active_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    void
+    onWorkerWaiting(int worker) override
+    {
+        (void)worker;
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /** Workers currently holding their activity bit high. */
+    int
+    activeWorkers() const
+    {
+        return active_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<int> active_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_HOOKS_H

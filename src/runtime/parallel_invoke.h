@@ -1,0 +1,53 @@
+/**
+ * @file
+ * parallel_invoke: run N callables in parallel and join (the paper's
+ * recursive spawn-and-sync construct).
+ */
+
+#ifndef AAWS_RUNTIME_PARALLEL_INVOKE_H
+#define AAWS_RUNTIME_PARALLEL_INVOKE_H
+
+#include "runtime/task_group.h"
+
+namespace aaws {
+
+/** Run two callables in parallel; returns after both complete. */
+template <typename F0, typename F1>
+void
+parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1)
+{
+    TaskGroup group(pool);
+    group.run(f1);
+    f0();
+    group.wait();
+}
+
+/** Run three callables in parallel; returns after all complete. */
+template <typename F0, typename F1, typename F2>
+void
+parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1, const F2 &f2)
+{
+    TaskGroup group(pool);
+    group.run(f1);
+    group.run(f2);
+    f0();
+    group.wait();
+}
+
+/** Run four callables in parallel; returns after all complete. */
+template <typename F0, typename F1, typename F2, typename F3>
+void
+parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1, const F2 &f2,
+               const F3 &f3)
+{
+    TaskGroup group(pool);
+    group.run(f1);
+    group.run(f2);
+    group.run(f3);
+    f0();
+    group.wait();
+}
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_PARALLEL_INVOKE_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TaskGroup: structured spawn/wait (the runtime's join primitive).
+ *
+ * `run()` spawns a stealable child; `wait()` blocks *productively*: the
+ * waiting thread executes its own and stolen tasks until every child of
+ * the group has finished (TBB-style blocking join, which is what a
+ * child-stealing runtime does at a sync).
+ */
+
+#ifndef AAWS_RUNTIME_TASK_GROUP_H
+#define AAWS_RUNTIME_TASK_GROUP_H
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/worker_pool.h"
+
+namespace aaws {
+
+/** Structured fork/join scope over a WorkerPool. */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(WorkerPool &pool) : pool_(pool) {}
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    ~TaskGroup() { wait(); }
+
+    /** Spawn `fn` as a stealable child of this group. */
+    template <typename F>
+    void
+    run(F &&fn)
+    {
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        pool_.spawn(
+            [this, fn = std::forward<F>(fn)]() mutable {
+                fn();
+                pending_.fetch_sub(1, std::memory_order_acq_rel);
+            });
+    }
+
+    /** Execute work until every child spawned so far has completed. */
+    void
+    wait()
+    {
+        while (pending_.load(std::memory_order_acquire) > 0) {
+            RtTask *task = pool_.tryTakeTask();
+            if (task)
+                task->invoke(task);
+            else
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    WorkerPool &pool_;
+    std::atomic<int64_t> pending_{0};
+};
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_TASK_GROUP_H

@@ -1,0 +1,167 @@
+#include "runtime/worker_pool.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+namespace {
+
+/** Worker identity of the calling thread, keyed by pool. */
+thread_local const WorkerPool *tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+} // namespace
+
+WorkerPool::WorkerPool(int threads, SchedulerHooks *hooks)
+    : hooks_(hooks)
+{
+    AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
+    deques_.reserve(threads);
+    hints_.resize(threads);
+    for (int i = 0; i < threads; ++i)
+        deques_.push_back(std::make_unique<ChaseLevDeque<RtTask *>>());
+    // The constructing thread is the master (worker 0).
+    tls_pool = this;
+    tls_worker = 0;
+    threads_.reserve(threads - 1);
+    for (int i = 1; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.notify_all();
+    }
+    for (auto &thread : threads_)
+        thread.join();
+    // Drain any un-executed tasks so they do not leak.
+    for (auto &dq : deques_) {
+        RtTask *task = nullptr;
+        while (dq->steal(task))
+            delete task;
+    }
+    if (tls_pool == this) {
+        tls_pool = nullptr;
+        tls_worker = -1;
+    }
+}
+
+int
+WorkerPool::currentWorker() const
+{
+    return tls_pool == this ? tls_worker : -1;
+}
+
+void
+WorkerPool::spawnTask(RtTask *task)
+{
+    int w = currentWorker();
+    // Foreign threads submit through the master's deque.  This is only
+    // safe when the master is not concurrently pushing; the public API
+    // funnels all submission through pool-owned threads, so in practice
+    // this path is the initial root-task submission.
+    AAWS_ASSERT(w >= 0, "spawn from a thread outside the pool");
+    deques_[w]->push(task);
+    wakeOne();
+}
+
+RtTask *
+WorkerPool::tryTakeTask()
+{
+    int self = currentWorker();
+    RtTask *task = nullptr;
+    if (self >= 0 && deques_[self]->pop(task)) {
+        noteFound(self);
+        return task;
+    }
+    // Occupancy-based victim selection: steal from the richest deque.
+    int victim = -1;
+    int64_t best = 0;
+    for (int i = 0; i < numWorkers(); ++i) {
+        if (i == self)
+            continue;
+        int64_t occ = deques_[i]->sizeEstimate();
+        if (occ > best) {
+            best = occ;
+            victim = i;
+        }
+    }
+    if (victim >= 0 && deques_[victim]->steal(task)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        noteFound(self);
+        return task;
+    }
+    noteFailed(self);
+    return nullptr;
+}
+
+void
+WorkerPool::noteFound(int self)
+{
+    if (self < 0)
+        return;
+    HintState &hint = hints_[self];
+    hint.failed = 0;
+    if (hint.waiting) {
+        hint.waiting = false;
+        if (hooks_)
+            hooks_->onWorkerActive(self);
+    }
+}
+
+void
+WorkerPool::noteFailed(int self)
+{
+    if (self < 0)
+        return;
+    HintState &hint = hints_[self];
+    // The paper toggles the activity bit on the *second* consecutive
+    // failed steal attempt (Section III-A).
+    if (!hint.waiting && ++hint.failed >= 2) {
+        hint.waiting = true;
+        if (hooks_)
+            hooks_->onWorkerWaiting(self);
+    }
+}
+
+void
+WorkerPool::wakeOne()
+{
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.notify_one();
+    }
+}
+
+void
+WorkerPool::workerLoop(int index)
+{
+    tls_pool = this;
+    tls_worker = index;
+    int idle_spins = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        RtTask *task = tryTakeTask();
+        if (task) {
+            idle_spins = 0;
+            task->invoke(task);
+            continue;
+        }
+        if (++idle_spins < 64) {
+            std::this_thread::yield();
+            continue;
+        }
+        // Deep sleep until new work arrives or shutdown.
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleepers_.fetch_add(1, std::memory_order_acq_rel);
+        sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+        idle_spins = 0;
+    }
+    tls_pool = nullptr;
+    tls_worker = -1;
+}
+
+} // namespace aaws

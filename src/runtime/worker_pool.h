@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The native work-stealing thread pool (Section IV-C analog).
+ *
+ * A library-based, child-stealing runtime in the spirit of Intel TBB:
+ * per-worker Chase-Lev deques, occupancy-based victim selection, and
+ * blocking-style joins in which the waiting thread keeps executing local
+ * and stolen tasks.  Deliberately lightweight: no exceptions across
+ * tasks, no cancellation — the paper credits the same omissions for its
+ * runtime's competitive single-socket performance (Table II).
+ */
+
+#ifndef AAWS_RUNTIME_WORKER_POOL_H
+#define AAWS_RUNTIME_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/chase_lev_deque.h"
+#include "runtime/hooks.h"
+
+namespace aaws {
+
+class WorkerPool;
+
+/** Type-erased heap task: freed by the executor after running. */
+struct RtTask
+{
+    void (*invoke)(RtTask *self);
+
+    virtual ~RtTask() = default;
+};
+
+namespace detail {
+
+/** Concrete closure task. */
+template <typename F>
+struct ClosureTask final : RtTask
+{
+    F fn;
+
+    explicit ClosureTask(F f) : fn(std::move(f))
+    {
+        invoke = [](RtTask *self) {
+            auto *task = static_cast<ClosureTask *>(self);
+            task->fn();
+            delete task;
+        };
+    }
+};
+
+} // namespace detail
+
+/**
+ * Fixed-size work-stealing pool.  The constructing thread is "worker 0"
+ * (the master) and participates in execution whenever it waits on a
+ * TaskGroup; `threads - 1` additional worker threads are spawned.
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads Total workers including the master (>= 1).
+     * @param hooks Optional activity observer (borrowed; must outlive
+     *              the pool).  See runtime/hooks.h.
+     */
+    explicit WorkerPool(int threads, SchedulerHooks *hooks = nullptr);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    int numWorkers() const { return static_cast<int>(deques_.size()); }
+
+    /** Spawn a closure as a stealable task on the current worker. */
+    template <typename F>
+    void
+    spawn(F &&fn)
+    {
+        spawnTask(new detail::ClosureTask<std::decay_t<F>>(
+            std::forward<F>(fn)));
+    }
+
+    /** Total successful steals (statistics). */
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    // Internal API used by TaskGroup / parallel algorithms ---------------
+
+    /** Push a heap task on the current worker's deque. */
+    void spawnTask(RtTask *task);
+
+    /**
+     * Take one unit of work: own deque first, then occupancy-based
+     * stealing.  Returns nullptr when nothing was found this attempt.
+     * Drives the activity-hint hooks: the second consecutive failed
+     * attempt signals waiting; the next success signals active.
+     */
+    RtTask *tryTakeTask();
+
+    /** Worker index of the calling thread (master = 0); -1 if foreign. */
+    int currentWorker() const;
+
+  private:
+    void workerLoop(int index);
+    void wakeOne();
+    void noteFound(int self);
+    void noteFailed(int self);
+
+    /** Per-worker activity-hint state (each slot owner-thread only). */
+    struct HintState
+    {
+        int failed = 0;
+        bool waiting = false;
+    };
+
+    std::vector<std::unique_ptr<ChaseLevDeque<RtTask *>>> deques_;
+    std::vector<HintState> hints_;
+    SchedulerHooks *hooks_ = nullptr;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stop_{false};
+    std::atomic<uint64_t> steals_{0};
+
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<int> sleepers_{0};
+};
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_WORKER_POOL_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Machine configuration for the cycle-approximate multicore simulator.
+ *
+ * Mirrors the paper's Table I targets: eight cores (4B4L or 1B7L), a
+ * 333 MHz nominal frequency, per-core integrated voltage regulators with
+ * a 40 ns / 0.15 V transition model, and a global lookup-table DVFS
+ * controller.  Core performance and energy are parameterized per
+ * application through `app_params` (alpha, beta, and little-core IPC from
+ * Table III), while the DVFS lookup table is always generated from the
+ * designer's system-wide estimates in `table_params` (alpha = 3,
+ * beta = 2), exactly as Section III-A prescribes.
+ */
+
+#ifndef AAWS_SIM_CONFIG_H
+#define AAWS_SIM_CONFIG_H
+
+#include "dvfs/controller.h"
+#include "sim/cost_model.h"
+
+namespace aaws {
+
+/** Full configuration of one simulated machine + runtime variant. */
+struct MachineConfig
+{
+    /** Number of big (out-of-order-class) cores; they get ids 0..n-1. */
+    int n_big = 4;
+    /** Number of little (in-order-class) cores. */
+    int n_little = 4;
+    /** Per-application model (alpha, beta, ipc_little from Table III). */
+    ModelParams app_params;
+    /** Designer's system-wide model used to build the DVFS table. */
+    ModelParams table_params;
+    /** Voltage techniques applied by the DVFS controller. */
+    DvfsPolicy policy;
+    /** Enable work-mugging (Section III-B). */
+    bool work_mugging = false;
+    /** Enable work-biasing (Section III-C; part of the baseline). */
+    bool work_biasing = true;
+    /**
+     * Use random victim selection instead of occupancy-based (the
+     * baseline follows [Contreras & Martonosi]; random is the classic
+     * Cilk policy, kept for the ablation bench).
+     */
+    bool random_victim = false;
+    /** Runtime and mug cost constants. */
+    RuntimeCosts costs;
+    /** Regulator transition latency per voltage step. */
+    double regulator_ns_per_step = 40.0;
+    double regulator_volts_per_step = 0.15;
+    /** Record an activity trace (Figures 1 and 7). */
+    bool collect_trace = false;
+    /** Livelock guard: panic with a state dump past this many events. */
+    uint64_t max_events = 400'000'000;
+    /**
+     * Application L2 misses per kilo-instruction (Table III).  Together
+     * with `mem_contention` this models shared-L2/memory contention: the
+     * effective IPC of every active core is divided by
+     * (1 + mem_contention * mpki * (active_cores - 1)), the first-order
+     * queueing effect a gem5 MESI/SimpleMemory system exhibits.
+     */
+    double mpki = 0.0;
+    /** Contention slope (calibrated against Table III speedups). */
+    double mem_contention = 0.003;
+    /**
+     * Optional externally supplied DVFS lookup table (borrowed; must
+     * outlive the machine).  When null the machine generates the table
+     * from `table_params`.  Used by the adaptive controller.
+     */
+    const DvfsLookupTable *table_override = nullptr;
+
+    int numCores() const { return n_big + n_little; }
+
+    /** 4 big + 4 little commercial-style configuration. */
+    static MachineConfig system4B4L();
+    /** 1 big + 7 little configuration. */
+    static MachineConfig system1B7L();
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_CONFIG_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instruction/cycle costs of the modeled work-stealing runtime and of the
+ * work-mugging hardware (Sections III-B, IV-D).
+ *
+ * Costs in *instructions* scale with the executing core's IPC and
+ * frequency; costs in *cycles* scale with frequency only (they model
+ * memory-system latencies).  The mug costs follow the paper: an
+ * inter-core interrupt on the order of an L2 access (20 cycles), ~80
+ * instructions of state-swap assembly per side, and a cache-migration
+ * penalty charged to the migrated task as it re-warms its working set.
+ */
+
+#ifndef AAWS_SIM_COST_MODEL_H
+#define AAWS_SIM_COST_MODEL_H
+
+#include <cstdint>
+
+namespace aaws {
+
+/** Cost constants of the simulated runtime and mug hardware. */
+struct RuntimeCosts
+{
+    /** Instructions to push a spawned task onto the owner's deque. */
+    uint64_t spawn_instrs = 35;
+    /** Instructions to pop/convert a deque entry into a running frame. */
+    uint64_t task_begin_instrs = 25;
+    /** Instructions per sync check (join-counter read). */
+    uint64_t sync_instrs = 10;
+    /** Instructions to enter an inline-called child (function call). */
+    uint64_t call_instrs = 8;
+    /** Cycles per steal attempt (occupancy scan + CAS attempt). */
+    uint64_t steal_attempt_cycles = 30;
+    /** Extra cycles on a successful steal (remote deque + task fetch). */
+    uint64_t steal_success_cycles = 45;
+    /** Cycles from mug instruction to interrupt delivery (~L2 access). */
+    uint64_t mug_interrupt_cycles = 20;
+    /** Instructions of state-swap assembly per participating core. */
+    uint64_t mug_swap_instrs = 80;
+    /** Instructions-equivalent penalty as the migrated task re-warms L1. */
+    uint64_t mug_cache_penalty_instrs = 800;
+    /**
+     * Steal-loop backoff: when a scan finds every deque empty, the next
+     * attempt is delayed by this growth factor, capped at the max factor
+     * (pause-style backoff, as production steal loops implement).
+     */
+    double steal_backoff_growth = 1.5;
+    double steal_backoff_max = 8.0;
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_COST_MODEL_H

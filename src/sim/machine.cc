@@ -1,0 +1,1062 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+namespace {
+
+std::vector<CoreType>
+coreTypesOf(const MachineConfig &config)
+{
+    std::vector<CoreType> types;
+    for (int i = 0; i < config.n_big; ++i)
+        types.push_back(CoreType::big);
+    for (int i = 0; i < config.n_little; ++i)
+        types.push_back(CoreType::little);
+    return types;
+}
+
+} // namespace
+
+MachineConfig
+MachineConfig::system4B4L()
+{
+    MachineConfig config;
+    config.n_big = 4;
+    config.n_little = 4;
+    return config;
+}
+
+MachineConfig
+MachineConfig::system1B7L()
+{
+    MachineConfig config;
+    config.n_big = 1;
+    config.n_little = 7;
+    return config;
+}
+
+Machine::Machine(const MachineConfig &config, const TaskDag &dag)
+    : config_(config), dag_(dag), app_model_(config.app_params),
+      table_model_(config.table_params),
+      table_(config.table_override
+                 ? *config.table_override
+                 : DvfsLookupTable(table_model_, config.n_big,
+                                   config.n_little)),
+      controller_(table_, config.policy, coreTypesOf(config),
+                  config.table_params),
+      regulator_(config.regulator_ns_per_step,
+                 config.regulator_volts_per_step),
+      energy_(app_model_, coreTypesOf(config)),
+      regions_(config.n_big, config.n_little)
+{
+    AAWS_ASSERT(!dag_.phases().empty(), "kernel has no phases");
+    int n = config_.numCores();
+    AAWS_ASSERT(n >= 1 && n <= 64, "unsupported core count %d", n);
+    cores_.resize(n);
+    workers_.resize(n);
+    worker_core_.resize(n);
+    double v_nom = config_.app_params.v_nom;
+    for (int c = 0; c < n; ++c) {
+        cores_[c].type = c < config_.n_big ? CoreType::big
+                                           : CoreType::little;
+        cores_[c].worker = static_cast<int16_t>(c);
+        cores_[c].v_now = v_nom;
+        cores_[c].v_goal = v_nom;
+        cores_[c].freq = app_model_.freq(v_nom);
+        worker_core_[c] = static_cast<int16_t>(c);
+    }
+    occupancy_seconds_.assign(
+        static_cast<size_t>((config_.n_big + 1) * (config_.n_little + 1)),
+        0.0);
+    if (config_.collect_trace)
+        result_.trace.enable();
+}
+
+Machine::~Machine() = default;
+
+// --- frame pool ----------------------------------------------------------
+
+int32_t
+Machine::allocFrame(uint32_t task, int32_t parent_frame, int worker)
+{
+    int32_t f;
+    if (!free_frames_.empty()) {
+        f = free_frames_.back();
+        free_frames_.pop_back();
+    } else {
+        f = static_cast<int32_t>(frames_.size());
+        frames_.emplace_back();
+    }
+    Frame &frame = frames_[f];
+    frame = Frame{};
+    frame.task = task;
+    frame.parent_frame = parent_frame;
+    frame.owner_worker = static_cast<int16_t>(worker);
+    frame.live = true;
+    return f;
+}
+
+void
+Machine::freeFrame(int32_t f)
+{
+    AAWS_ASSERT(frames_[f].live, "double free of frame %d", f);
+    frames_[f].live = false;
+    free_frames_.push_back(f);
+}
+
+// --- time / rate helpers ---------------------------------------------------
+
+double
+Machine::instrRate(const Core &core) const
+{
+    // Shared-memory contention degrades every active core's effective
+    // IPC as more cores are active (see MachineConfig::mpki).
+    return config_.app_params.ipc(core.type) * core.freq /
+           contention_factor_;
+}
+
+double
+Machine::cycleRate(const Core &core) const
+{
+    return core.freq;
+}
+
+double
+Machine::rateFor(const Core &core) const
+{
+    switch (core.pending) {
+      case Pending::work:
+      case Pending::mug_save:
+        return instrRate(core);
+      case Pending::steal:
+      case Pending::steal_fetch:
+      case Pending::mug_issue:
+        return cycleRate(core);
+      case Pending::none:
+        break;
+    }
+    panic("rateFor with no pending op");
+}
+
+void
+Machine::schedule(int c, double delay_seconds)
+{
+    Core &core = cores_[c];
+    core.last_update = now_;
+    Tick when = now_ + std::max<Tick>(1, secondsToTicks(delay_seconds));
+    events_.push({when, seq_++, static_cast<int16_t>(c), core.epoch,
+                  EvKind::core_op});
+}
+
+void
+Machine::settle(int c)
+{
+    Core &core = cores_[c];
+    if (core.pending == Pending::none)
+        return;
+    double elapsed = ticksToSeconds(now_ - core.last_update);
+    core.remaining =
+        std::max(0.0, core.remaining - elapsed * rateFor(core));
+    core.last_update = now_;
+}
+
+void
+Machine::updateEnergy(int c)
+{
+    Core &core = cores_[c];
+    PowerState ps;
+    switch (core.state) {
+      case CoreState::running:
+      case CoreState::serial:
+      case CoreState::mugging:
+        ps = PowerState::active;
+        break;
+      case CoreState::stealing:
+        ps = PowerState::waiting;
+        break;
+      case CoreState::done:
+      default:
+        ps = PowerState::off;
+        break;
+    }
+    double v_charge = core.transitioning
+                          ? std::max(core.v_now, core.v_goal)
+                          : core.v_now;
+    energy_.setState(c, now(), ps, v_charge);
+}
+
+void
+Machine::recordTrace(int c)
+{
+    if (!result_.trace.enabled())
+        return;
+    const Core &core = cores_[c];
+    TraceState ts;
+    switch (core.state) {
+      case CoreState::running:
+        ts = TraceState::task;
+        break;
+      case CoreState::serial:
+        ts = TraceState::serial;
+        break;
+      case CoreState::stealing:
+        ts = TraceState::steal;
+        break;
+      case CoreState::mugging:
+        ts = TraceState::mug;
+        break;
+      case CoreState::done:
+      default:
+        ts = TraceState::idle;
+        break;
+    }
+    result_.trace.record(now_, c, ts, core.v_goal);
+}
+
+void
+Machine::recordCensus()
+{
+    int big_active = 0;
+    int little_active = 0;
+    for (const Core &core : cores_) {
+        bool active = core.state == CoreState::running ||
+                      core.state == CoreState::serial ||
+                      core.state == CoreState::mugging;
+        if (active) {
+            (core.type == CoreType::big ? big_active : little_active)++;
+        }
+    }
+    regions_.update(now(), serial_core_ >= 0, big_active, little_active);
+    if (big_active != census_ba_ || little_active != census_la_) {
+        occupancy_seconds_[census_ba_ * (config_.n_little + 1) +
+                           census_la_] +=
+            ticksToSeconds(now_ - census_since_);
+        census_ba_ = big_active;
+        census_la_ = little_active;
+        census_since_ = now_;
+    }
+    setActiveCount(big_active + little_active);
+}
+
+void
+Machine::setActiveCount(int active)
+{
+    if (active == active_count_)
+        return;
+    active_count_ = active;
+    double factor = 1.0 + config_.mem_contention * config_.mpki *
+                              std::max(0, active - 1);
+    if (factor == contention_factor_)
+        return;
+    // The effective IPC of every in-flight instruction charge changes:
+    // bank progress at the old rate, then reschedule at the new one.
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        Core &core = cores_[c];
+        if (core.pending == Pending::work ||
+            core.pending == Pending::mug_save) {
+            settle(static_cast<int>(c));
+        }
+    }
+    contention_factor_ = factor;
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        Core &core = cores_[c];
+        if (core.pending == Pending::work ||
+            core.pending == Pending::mug_save) {
+            core.epoch++;
+            schedule(static_cast<int>(c),
+                     core.remaining / rateFor(core));
+        }
+    }
+}
+
+void
+Machine::setCoreState(int c, CoreState state)
+{
+    Core &core = cores_[c];
+    if (core.state == state)
+        return;
+    // Bank the elapsed interval under the outgoing state.
+    double dt = ticksToSeconds(now_ - core.state_since);
+    if (core.state == CoreState::stealing)
+        core.waiting_seconds += dt;
+    else if (core.state != CoreState::done)
+        core.busy_seconds += dt;
+    core.state_since = now_;
+    core.state = state;
+    bool active = state == CoreState::running ||
+                  state == CoreState::serial ||
+                  state == CoreState::mugging;
+    bool hints_changed = false;
+    if (active && !core.hint_active) {
+        core.hint_active = true;
+        hints_changed = true;
+    }
+    updateEnergy(c);
+    recordCensus();
+    recordTrace(c);
+    if (hints_changed)
+        onHintsChanged();
+}
+
+// --- scheduler actions ------------------------------------------------------
+
+void
+Machine::beginWork(int c, double instrs, After after)
+{
+    Core &core = cores_[c];
+    core.after_work = after;
+    if (instrs <= 0.0) {
+        // Nothing to charge: dispatch the continuation immediately.
+        switch (after) {
+          case After::advance:
+            advanceWorker(c);
+            return;
+          case After::phase:
+            phaseTransition(c);
+            return;
+          case After::phase_serial_done:
+            panic("zero-length serial charge"); // caller avoids this
+        }
+    }
+    result_.instructions += static_cast<uint64_t>(instrs);
+    core.instr_retired += instrs;
+    core.pending = Pending::work;
+    core.remaining = instrs;
+    core.epoch++;
+    schedule(c, instrs / instrRate(core));
+}
+
+void
+Machine::enterStealLoop(int c)
+{
+    Core &core = cores_[c];
+    core.failed_steals = 0;
+    core.backoff = 1.0;
+    setCoreState(c, CoreState::stealing);
+    core.pending = Pending::steal;
+    core.remaining = static_cast<double>(config_.costs.steal_attempt_cycles);
+    core.epoch++;
+    schedule(c, core.remaining / cycleRate(core));
+}
+
+void
+Machine::advanceWorker(int c)
+{
+    Core &core = cores_[c];
+    Worker &w = workers_[core.worker];
+    const RuntimeCosts &costs = config_.costs;
+    double instrs = 0.0;
+
+    setCoreState(c, CoreState::running);
+    while (true) {
+        if (w.stack.empty()) {
+            if (!w.dq.empty()) {
+                SpawnedEntry entry = w.dq.back();
+                w.dq.pop_back();
+                instrs += static_cast<double>(costs.task_begin_instrs);
+                w.stack.push_back(
+                    allocFrame(entry.task, entry.parent_frame,
+                               core.worker));
+                continue;
+            }
+            // Out of local work.
+            if (instrs > 0.0) {
+                beginWork(c, instrs, After::advance);
+            } else {
+                enterStealLoop(c);
+            }
+            return;
+        }
+
+        int32_t fid = w.stack.back();
+        Frame &frame = frames_[fid];
+        if (frame.waiting) {
+            if (frame.outstanding == 0) {
+                frame.waiting = false;
+                // fall through to resume past the sync
+            } else if (!w.dq.empty()) {
+                SpawnedEntry entry = w.dq.back();
+                w.dq.pop_back();
+                instrs += static_cast<double>(costs.task_begin_instrs);
+                w.stack.push_back(
+                    allocFrame(entry.task, entry.parent_frame,
+                               core.worker));
+                continue;
+            } else {
+                // Blocked: steal while waiting for the join.
+                if (instrs > 0.0)
+                    beginWork(c, instrs, After::advance);
+                else
+                    enterStealLoop(c);
+                return;
+            }
+        }
+
+        const Task &task = dag_.task(frame.task);
+        if (frame.op_idx >= task.ops.size()) {
+            // Task end: implicit sync with outstanding children.
+            if (frame.outstanding > 0) {
+                frame.waiting = true;
+                continue;
+            }
+            bool was_phase_root =
+                phase_idx_ > 0 &&
+                dag_.phases()[phase_idx_ - 1].root_task >= 0 &&
+                static_cast<uint32_t>(
+                    dag_.phases()[phase_idx_ - 1].root_task) ==
+                    frame.task &&
+                w.stack.size() == 1 && core.worker == 0;
+            completeTask(c, fid);
+            if (was_phase_root) {
+                if (instrs > 0.0)
+                    beginWork(c, instrs, After::phase);
+                else
+                    phaseTransition(c);
+                return;
+            }
+            continue;
+        }
+
+        const TaskOp &op = task.ops[frame.op_idx++];
+        switch (op.kind) {
+          case OpKind::work:
+            instrs += static_cast<double>(op.arg);
+            beginWork(c, instrs, After::advance);
+            return;
+          case OpKind::spawn:
+            instrs += static_cast<double>(costs.spawn_instrs);
+            w.dq.push_back({static_cast<uint32_t>(op.arg), fid});
+            frame.outstanding++;
+            break;
+          case OpKind::call:
+            instrs += static_cast<double>(costs.call_instrs);
+            w.stack.push_back(allocFrame(static_cast<uint32_t>(op.arg),
+                                         -1, core.worker));
+            break;
+          case OpKind::sync:
+            instrs += static_cast<double>(costs.sync_instrs);
+            if (frame.outstanding > 0)
+                frame.waiting = true;
+            break;
+        }
+    }
+}
+
+void
+Machine::completeTask(int c, int32_t fid)
+{
+    Worker &w = workers_[cores_[c].worker];
+    AAWS_ASSERT(!w.stack.empty() && w.stack.back() == fid,
+                "completing non-top frame");
+    w.stack.pop_back();
+    result_.tasks_executed++;
+    int32_t parent = frames_[fid].parent_frame;
+    freeFrame(fid);
+    if (parent >= 0)
+        onChildJoined(parent);
+}
+
+void
+Machine::onChildJoined(int32_t pf)
+{
+    Frame &frame = frames_[pf];
+    AAWS_ASSERT(frame.live && frame.outstanding > 0,
+                "join on frame with no outstanding children");
+    frame.outstanding--;
+    if (frame.outstanding != 0 || !frame.waiting)
+        return;
+    // The joined frame may now resume; wake its owner if it is sitting
+    // in the steal loop with this frame on top of its stack.
+    int owner_core = worker_core_[frame.owner_worker];
+    Core &core = cores_[owner_core];
+    Worker &w = workers_[frame.owner_worker];
+    if (core.state == CoreState::stealing &&
+        core.pending == Pending::steal && !w.stack.empty() &&
+        w.stack.back() == pf) {
+        core.epoch++; // cancel the in-flight steal attempt
+        core.pending = Pending::none;
+        advanceWorker(owner_core);
+    }
+}
+
+bool
+Machine::allBigActive() const
+{
+    for (const Core &core : cores_) {
+        if (core.type == CoreType::big &&
+            (core.state == CoreState::stealing ||
+             core.state == CoreState::done)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+Machine::pickVictim(int c)
+{
+    if (config_.random_victim) {
+        // Classic Cilk-style random victim selection (ablation mode):
+        // uniformly pick among the non-empty deques.
+        int candidates[64];
+        int n = 0;
+        for (size_t wi = 0; wi < workers_.size(); ++wi) {
+            if (static_cast<int>(wi) != cores_[c].worker &&
+                !workers_[wi].dq.empty()) {
+                candidates[n++] = static_cast<int>(wi);
+            }
+        }
+        if (n == 0)
+            return -1;
+        // xorshift64*: deterministic per-machine stream.
+        victim_rng_ ^= victim_rng_ >> 12;
+        victim_rng_ ^= victim_rng_ << 25;
+        victim_rng_ ^= victim_rng_ >> 27;
+        return candidates[(victim_rng_ * 0x2545F4914F6CDD1Dull >> 33) %
+                          static_cast<uint64_t>(n)];
+    }
+    // Occupancy-based victim selection: richest deque wins.
+    int best = -1;
+    size_t best_occ = 0;
+    for (size_t wi = 0; wi < workers_.size(); ++wi) {
+        if (static_cast<int>(wi) == cores_[c].worker)
+            continue;
+        size_t occ = workers_[wi].dq.size();
+        if (occ > best_occ) {
+            best_occ = occ;
+            best = static_cast<int>(wi);
+        }
+    }
+    return best;
+}
+
+void
+Machine::onStealDone(int c)
+{
+    Core &core = cores_[c];
+    const RuntimeCosts &costs = config_.costs;
+
+    bool biased_out = config_.work_biasing &&
+                      core.type == CoreType::little && !allBigActive();
+    int victim = biased_out ? -1 : pickVictim(c);
+
+    if (victim >= 0) {
+        Worker &vw = workers_[victim];
+        core.steal_entry = vw.dq.front();
+        vw.dq.pop_front();
+        result_.steals++;
+        core.pending = Pending::steal_fetch;
+        core.remaining =
+            static_cast<double>(costs.steal_success_cycles);
+        core.epoch++;
+        schedule(c, core.remaining / cycleRate(core));
+        return;
+    }
+
+    // Failed attempt.
+    core.failed_steals++;
+    result_.failed_steals++;
+    if (core.failed_steals == 2 && core.hint_active) {
+        core.hint_active = false;
+        onHintsChanged();
+    }
+
+    // Work-mugging: a big core that has failed to steal twice
+    // preemptively migrates work from an active little core.  The swap
+    // moves the whole user-level context, so a big core blocked at a
+    // sync may also mug (its blocked continuation migrates to the
+    // little core and resumes whenever its join completes).
+    if (config_.work_mugging && core.type == CoreType::big &&
+        core.failed_steals >= 2) {
+        int target = pickMuggee(c);
+        if (target >= 0) {
+            issueMug(c, target, /*for_phase=*/false);
+            return;
+        }
+    }
+
+    core.backoff = std::min(costs.steal_backoff_max,
+                            core.backoff * costs.steal_backoff_growth);
+    core.pending = Pending::steal;
+    core.remaining =
+        static_cast<double>(costs.steal_attempt_cycles) * core.backoff;
+    core.epoch++;
+    schedule(c, core.remaining / cycleRate(core));
+}
+
+void
+Machine::onStealFetchDone(int c)
+{
+    Core &core = cores_[c];
+    Worker &w = workers_[core.worker];
+    AAWS_ASSERT(w.stack.empty() || frames_[w.stack.back()].waiting,
+                "steal completed while runnable work was on the stack");
+    w.stack.push_back(allocFrame(core.steal_entry.task,
+                                 core.steal_entry.parent_frame,
+                                 core.worker));
+    core.failed_steals = 0;
+    core.backoff = 1.0;
+    setCoreState(c, CoreState::running);
+    beginWork(c, static_cast<double>(config_.costs.task_begin_instrs),
+              After::advance);
+}
+
+// --- mugging ----------------------------------------------------------------
+
+int
+Machine::pickMuggee(int c) const
+{
+    (void)c;
+    // The most loaded active little core (occupancy, then lowest id).
+    int best = -1;
+    size_t best_occ = 0;
+    bool best_found = false;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+        const Core &core = cores_[i];
+        if (core.type != CoreType::little ||
+            core.state != CoreState::running || core.mug_targeted ||
+            core.mug_peer >= 0) {
+            continue;
+        }
+        size_t occ = workers_[core.worker].dq.size();
+        if (!best_found || occ > best_occ) {
+            best = static_cast<int>(i);
+            best_occ = occ;
+            best_found = true;
+        }
+    }
+    return best;
+}
+
+void
+Machine::issueMug(int c, int target, bool for_phase)
+{
+    Core &core = cores_[c];
+    cores_[target].mug_targeted = true;
+    core.mug_peer = target;
+    core.mug_save_done = false;
+    core.mug_for_phase = for_phase;
+    setCoreState(c, CoreState::mugging);
+    core.pending = Pending::mug_issue;
+    core.remaining =
+        static_cast<double>(config_.costs.mug_interrupt_cycles);
+    core.epoch++;
+    schedule(c, core.remaining / cycleRate(core));
+}
+
+void
+Machine::onMugIssueDone(int c)
+{
+    Core &core = cores_[c];
+    int peer = core.mug_peer;
+    Core &muggee = cores_[peer];
+
+    bool valid = core.mug_for_phase
+                     ? muggee.state == CoreState::stealing
+                     : muggee.state == CoreState::running;
+    if (!valid) {
+        abortMug(c);
+        return;
+    }
+
+    // Preempt the muggee and run the state-save code on both sides.
+    double swap = static_cast<double>(config_.costs.mug_swap_instrs);
+    if (muggee.pending == Pending::work) {
+        settle(peer);
+        workers_[muggee.worker].resume_instrs = muggee.remaining;
+        workers_[muggee.worker].resume_after = muggee.after_work;
+    }
+    muggee.epoch++;
+    muggee.mug_peer = c;
+    muggee.mug_save_done = false;
+    muggee.mug_for_phase = core.mug_for_phase;
+    setCoreState(peer, CoreState::mugging);
+    muggee.pending = Pending::mug_save;
+    muggee.remaining = swap;
+    schedule(peer, swap / instrRate(muggee));
+    result_.instructions += static_cast<uint64_t>(swap);
+    muggee.instr_retired += swap;
+
+    core.pending = Pending::mug_save;
+    core.remaining = swap;
+    core.epoch++;
+    schedule(c, swap / instrRate(core));
+    result_.instructions += static_cast<uint64_t>(swap);
+    core.instr_retired += swap;
+}
+
+void
+Machine::onMugSaveDone(int c)
+{
+    Core &core = cores_[c];
+    core.mug_save_done = true;
+    int peer = core.mug_peer;
+    if (cores_[peer].mug_save_done)
+        performSwap(c, peer);
+    // Otherwise wait at the rendezvous barrier for the peer.
+}
+
+void
+Machine::performSwap(int a, int b)
+{
+    result_.mugs++;
+    bool for_phase = cores_[a].mug_for_phase;
+
+    std::swap(cores_[a].worker, cores_[b].worker);
+    worker_core_[cores_[a].worker] = static_cast<int16_t>(a);
+    worker_core_[cores_[b].worker] = static_cast<int16_t>(b);
+
+    for (int c : {a, b}) {
+        Core &core = cores_[c];
+        core.mug_peer = -1;
+        core.mug_save_done = false;
+        core.mug_targeted = false;
+        core.mug_for_phase = false;
+        core.failed_steals = 0;
+        core.backoff = 1.0;
+    }
+
+    for (int c : {a, b}) {
+        Core &core = cores_[c];
+        Worker &w = workers_[core.worker];
+        if (for_phase && core.worker == 0) {
+            // Logical thread 0 landed on this (big) core: next phase.
+            startNextPhase(c);
+        } else if (w.resume_instrs >= 0.0) {
+            double r = w.resume_instrs +
+                       static_cast<double>(
+                           config_.costs.mug_cache_penalty_instrs);
+            // The preempted instructions were counted when first
+            // charged; only the cache-migration penalty is new work.
+            result_.instructions -= static_cast<uint64_t>(w.resume_instrs);
+            core.instr_retired -= w.resume_instrs;
+            After after = w.resume_after;
+            w.resume_instrs = -1.0;
+            w.resume_after = After::advance;
+            setCoreState(c, CoreState::running);
+            beginWork(c, r, after);
+        } else {
+            advanceWorker(c);
+        }
+    }
+}
+
+void
+Machine::abortMug(int c)
+{
+    Core &core = cores_[c];
+    result_.aborted_mugs++;
+    int peer = core.mug_peer;
+    cores_[peer].mug_targeted = false;
+    bool for_phase = core.mug_for_phase;
+    core.mug_peer = -1;
+    core.mug_for_phase = false;
+    if (for_phase) {
+        // Stay on the little core and carry on with the next phase.
+        startNextPhase(c);
+    } else {
+        // Re-examine the worker: a join may have completed while this
+        // core was engaged in the mug (the wake is skipped for cores in
+        // the mugging state), so going straight back to the steal loop
+        // could strand a now-runnable blocked frame forever.
+        advanceWorker(c);
+    }
+}
+
+// --- phases -------------------------------------------------------------------
+
+void
+Machine::startNextPhase(int c)
+{
+    AAWS_ASSERT(cores_[c].worker == 0,
+                "phase advanced by a core not holding logical thread 0");
+    if (phase_idx_ >= dag_.phases().size()) {
+        finished_ = true;
+        finish_tick_ = now_;
+        for (size_t i = 0; i < cores_.size(); ++i)
+            setCoreState(static_cast<int>(i), CoreState::done);
+        return;
+    }
+    const Phase &phase = dag_.phases()[phase_idx_];
+    phase_idx_++;
+    if (phase.serial_work > 0) {
+        serial_core_ = c;
+        setCoreState(c, CoreState::serial);
+        onHintsChanged();
+        Core &core = cores_[c];
+        core.after_work = After::phase_serial_done;
+        core.pending = Pending::work;
+        core.remaining = static_cast<double>(phase.serial_work);
+        core.epoch++;
+        result_.instructions += phase.serial_work;
+        core.instr_retired += static_cast<double>(phase.serial_work);
+        schedule(c, core.remaining / instrRate(core));
+        return;
+    }
+    if (phase.root_task >= 0) {
+        Worker &w = workers_[cores_[c].worker];
+        w.stack.push_back(allocFrame(
+            static_cast<uint32_t>(phase.root_task), -1, cores_[c].worker));
+        advanceWorker(c);
+        return;
+    }
+    startNextPhase(c); // empty phase
+}
+
+void
+Machine::phaseTransition(int c)
+{
+    // End of a parallel region: logical thread 0 must continue on a big
+    // core (Section III-B); if it is on a little core, mug any big core.
+    if (config_.work_mugging && cores_[c].type == CoreType::little) {
+        for (size_t i = 0; i < cores_.size(); ++i) {
+            Core &big = cores_[i];
+            if (big.type == CoreType::big &&
+                big.state == CoreState::stealing && !big.mug_targeted &&
+                big.mug_peer < 0) {
+                issueMug(c, static_cast<int>(i), /*for_phase=*/true);
+                return;
+            }
+        }
+    }
+    startNextPhase(c);
+}
+
+// --- DVFS ------------------------------------------------------------------------
+
+void
+Machine::onHintsChanged()
+{
+    if (finished_)
+        return;
+    if (controller_busy_) {
+        controller_pending_ = true;
+        return;
+    }
+    std::vector<bool> hints(cores_.size());
+    for (size_t i = 0; i < cores_.size(); ++i)
+        hints[i] = cores_[i].hint_active;
+    applyDecision(controller_.decide(hints, serial_core_));
+}
+
+void
+Machine::applyDecision(const std::vector<double> &targets)
+{
+    Tick latest = now_;
+    for (size_t i = 0; i < targets.size(); ++i) {
+        Core &core = cores_[i];
+        AAWS_ASSERT(!core.transitioning,
+                    "new decision while core %zu is transitioning", i);
+        if (std::abs(targets[i] - core.v_now) < 1e-9)
+            continue;
+        double v_from = core.v_now;
+        double v_to = targets[i];
+        Tick dt = regulator_.transitionPs(v_from, v_to);
+        core.transitioning = true;
+        core.v_goal = v_to;
+        result_.transitions++;
+        // Execute through the transition at the lower frequency; charge
+        // energy at the higher of the two voltages (conservative).
+        updateEnergy(static_cast<int>(i));
+        recordTrace(static_cast<int>(i));
+        setFrequency(static_cast<int>(i),
+                     std::min(app_model_.freq(v_from),
+                              app_model_.freq(v_to)));
+        Tick end = now_ + std::max<Tick>(1, dt);
+        events_.push({end, seq_++, static_cast<int16_t>(i), 0,
+                      EvKind::transition});
+        latest = std::max(latest, end);
+    }
+    if (latest > now_) {
+        controller_busy_ = true;
+        controller_free_at_ = latest;
+        events_.push({latest, seq_++, -1, 0, EvKind::controller});
+    }
+}
+
+void
+Machine::onTransitionDone(int c)
+{
+    Core &core = cores_[c];
+    AAWS_ASSERT(core.transitioning, "spurious transition end on core %d",
+                c);
+    core.transitioning = false;
+    core.v_now = core.v_goal;
+    updateEnergy(c);
+    setFrequency(c, app_model_.freq(core.v_now));
+}
+
+void
+Machine::onControllerFree()
+{
+    controller_busy_ = false;
+    if (controller_pending_) {
+        controller_pending_ = false;
+        onHintsChanged();
+    }
+}
+
+void
+Machine::setFrequency(int c, double freq)
+{
+    Core &core = cores_[c];
+    if (core.freq == freq)
+        return;
+    settle(c); // bank progress at the old rate first
+    core.freq = freq;
+    if (core.pending != Pending::none) {
+        core.epoch++;
+        schedule(c, core.remaining / rateFor(core));
+    }
+}
+
+// --- main loop ------------------------------------------------------------------
+
+void
+Machine::dumpStateAndPanic()
+{
+    std::fprintf(stderr,
+                 "machine state at t=%.6f ms (phase %zu/%zu, serial=%d, "
+                 "mugs=%llu, steals=%llu, ctrl_busy=%d):\n",
+                 now() * 1e3, phase_idx_, dag_.phases().size(),
+                 serial_core_, (unsigned long long)result_.mugs,
+                 (unsigned long long)result_.steals, controller_busy_);
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const Core &core = cores_[c];
+        const Worker &w = workers_[core.worker];
+        std::fprintf(stderr,
+                     "  core%zu %s worker=%d state=%d pending=%d "
+                     "rem=%.0f v=%.2f stack=%zu dq=%zu resume=%.0f "
+                     "peer=%d targeted=%d fails=%d\n",
+                     c, coreTypeName(core.type), core.worker,
+                     static_cast<int>(core.state),
+                     static_cast<int>(core.pending), core.remaining,
+                     core.v_now, w.stack.size(), w.dq.size(),
+                     w.resume_instrs, core.mug_peer, core.mug_targeted,
+                     core.failed_steals);
+    }
+    panic("event budget exhausted: livelock or runaway simulation");
+}
+
+SimResult
+Machine::run()
+{
+    AAWS_ASSERT(!ran_, "Machine::run() called twice");
+    ran_ = true;
+
+    // Boot: worker 0 starts the program; everyone else hunts for work.
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        updateEnergy(static_cast<int>(c));
+        recordTrace(static_cast<int>(c));
+    }
+    recordCensus();
+    // Establish the controller's boot decision: the hint bits power up
+    // active, so a pacing controller may act before the first toggle.
+    onHintsChanged();
+    for (size_t c = 1; c < cores_.size(); ++c)
+        enterStealLoop(static_cast<int>(c));
+    startNextPhase(0);
+
+    uint64_t processed = 0;
+    while (!finished_ && !events_.empty()) {
+        Event ev = events_.top();
+        events_.pop();
+        AAWS_ASSERT(ev.tick >= now_, "time went backwards");
+        now_ = ev.tick;
+        if (++processed > config_.max_events)
+            dumpStateAndPanic();
+        if (ev.kind == EvKind::controller) {
+            onControllerFree();
+            continue;
+        }
+        Core &core = cores_[ev.core];
+        if (ev.kind == EvKind::transition) {
+            onTransitionDone(ev.core);
+            continue;
+        }
+        if (ev.epoch != core.epoch)
+            continue; // stale
+        Pending p = core.pending;
+        core.pending = Pending::none;
+        core.remaining = 0.0;
+        switch (p) {
+          case Pending::work:
+            switch (core.after_work) {
+              case After::advance:
+                advanceWorker(ev.core);
+                break;
+              case After::phase:
+                phaseTransition(ev.core);
+                break;
+              case After::phase_serial_done: {
+                serial_core_ = -1;
+                onHintsChanged();
+                const Phase &phase = dag_.phases()[phase_idx_ - 1];
+                if (phase.root_task >= 0) {
+                    Worker &w = workers_[core.worker];
+                    w.stack.push_back(
+                        allocFrame(static_cast<uint32_t>(phase.root_task),
+                                   -1, core.worker));
+                    advanceWorker(ev.core);
+                } else {
+                    startNextPhase(ev.core);
+                }
+                break;
+              }
+            }
+            break;
+          case Pending::steal:
+            onStealDone(ev.core);
+            break;
+          case Pending::steal_fetch:
+            onStealFetchDone(ev.core);
+            break;
+          case Pending::mug_issue:
+            onMugIssueDone(ev.core);
+            break;
+          case Pending::mug_save:
+            onMugSaveDone(ev.core);
+            break;
+          case Pending::none:
+            panic("event for core with no pending operation");
+        }
+    }
+
+    AAWS_ASSERT(finished_, "simulation ran out of events before the "
+                           "program completed (deadlock)");
+    double end = ticksToSeconds(finish_tick_);
+    energy_.finish(end);
+    regions_.finish(end);
+    result_.exec_seconds = end;
+    result_.energy = energy_.totalEnergy();
+    result_.waiting_energy = energy_.waitingEnergy();
+    result_.avg_power = energy_.averagePower();
+    result_.regions = regions_.breakdown();
+    occupancy_seconds_[census_ba_ * (config_.n_little + 1) + census_la_] +=
+        ticksToSeconds(finish_tick_ - census_since_);
+    result_.occupancy_seconds = std::move(occupancy_seconds_);
+    result_.core_stats.resize(cores_.size());
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        Core &core = cores_[c];
+        double dt = ticksToSeconds(finish_tick_ - core.state_since);
+        if (core.state == CoreState::stealing)
+            core.waiting_seconds += dt;
+        else if (core.state != CoreState::done)
+            core.busy_seconds += dt;
+        result_.core_stats[c].busy_seconds = core.busy_seconds;
+        result_.core_stats[c].waiting_seconds = core.waiting_seconds;
+        result_.core_stats[c].energy =
+            energy_.coreEnergy(static_cast<int>(c)).total();
+        result_.core_stats[c].instructions =
+            static_cast<uint64_t>(std::max(0.0, core.instr_retired));
+    }
+    result_.trace.setEnd(finish_tick_);
+    return std::move(result_);
+}
+
+} // namespace aaws

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Discrete-event simulator of an asymmetric multicore running a
+ * child-stealing work-stealing runtime under a global DVFS controller.
+ *
+ * This is the gem5 substitute (see DESIGN.md): cores retire instructions
+ * at IPC(app, core type) x f(V); runtime actions (spawn, steal, sync,
+ * mug) are charged through the cost model; per-core integrated voltage
+ * regulators impose transition latencies and cores execute through
+ * transitions at the lower of the old/new frequencies; the DVFS
+ * controller reads activity-hint bits (toggled after the second failed
+ * steal attempt, per Section III-A) and may not issue a new decision
+ * while a transition is in flight.
+ *
+ * The scheduler is the paper's baseline runtime: per-worker Chase-Lev
+ * deques (owner pushes/pops the tail, thieves steal the head),
+ * occupancy-based victim selection, child stealing, optional
+ * work-biasing (little cores only steal when all big cores are busy),
+ * serial-sprinting, and the three AAWS techniques.  Work-mugging swaps
+ * the *logical workers* of a big and a little core through the modeled
+ * user-level-interrupt protocol: interrupt delivery, ~80 instructions of
+ * state-swap code per side, a rendezvous barrier, and a cache-migration
+ * penalty on the migrated task.
+ *
+ * Simulation is single-threaded and fully deterministic.
+ */
+
+#ifndef AAWS_SIM_MACHINE_H
+#define AAWS_SIM_MACHINE_H
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dvfs/regulator.h"
+#include "energy/accountant.h"
+#include "kernels/task_dag.h"
+#include "sim/config.h"
+#include "sim/region_tracker.h"
+#include "sim/result.h"
+
+namespace aaws {
+
+/**
+ * One simulated machine executing one task DAG.  Construct and run()
+ * once; the object is not reusable.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param config Machine + runtime-variant configuration.
+     * @param dag Borrowed task graph; must outlive the machine.
+     */
+    Machine(const MachineConfig &config, const TaskDag &dag);
+    ~Machine();
+
+    /** Execute the whole program and return the measurements. */
+    SimResult run();
+
+  private:
+    // --- scheduler data structures -------------------------------------
+
+    /** What a core is currently doing. */
+    enum class CoreState
+    {
+        stealing, ///< Spinning in the work-stealing loop.
+        running,  ///< Executing task work (or runtime overhead).
+        serial,   ///< Executing a truly serial region (thread 0 only).
+        mugging,  ///< Engaged in the mug swap protocol.
+        done,     ///< Program finished.
+    };
+
+    /** What the core's pending completion event means. */
+    enum class Pending
+    {
+        none,
+        work,        ///< `remaining` instructions of task/serial work.
+        steal,       ///< `remaining` cycles of a steal attempt.
+        steal_fetch, ///< `remaining` cycles fetching a stolen task.
+        mug_issue,   ///< Mugger waiting out the interrupt latency.
+        mug_save,    ///< `remaining` instructions of state-swap code.
+    };
+
+    /** What to do when a pending `work` charge completes. */
+    enum class After
+    {
+        advance,           ///< Continue executing the worker's frames.
+        phase,             ///< A phase root finished: phase transition.
+        phase_serial_done, ///< A phase's serial region finished.
+    };
+
+    /** An executing (possibly blocked) task instance. */
+    struct Frame
+    {
+        uint32_t task = 0;
+        uint32_t op_idx = 0;
+        int32_t outstanding = 0;   ///< Spawned, not-yet-joined children.
+        int32_t parent_frame = -1; ///< Frame that *spawned* this task.
+        int16_t owner_worker = -1;
+        bool waiting = false;      ///< Blocked at a sync.
+        bool live = false;
+    };
+
+    /** Deque entry: a stealable spawned task. */
+    struct SpawnedEntry
+    {
+        uint32_t task;
+        int32_t parent_frame;
+    };
+
+    /** Logical worker: survives mugging (cores swap workers). */
+    struct Worker
+    {
+        std::deque<SpawnedEntry> dq; ///< back = tail (owner side).
+        std::vector<int32_t> stack;  ///< Frame ids; back = top.
+        /** Instructions left of a WORK op preempted by a mug (-1: none). */
+        double resume_instrs = -1.0;
+        /** Continuation of the preempted charge (mug resume). */
+        After resume_after = After::advance;
+    };
+
+    /** Physical core. */
+    struct Core
+    {
+        CoreType type = CoreType::little;
+        int16_t worker = -1;
+        double v_now = 1.0;       ///< Supply voltage (charge basis).
+        double v_goal = 1.0;      ///< Target of an in-flight transition.
+        bool transitioning = false;
+        double freq = 0.0;        ///< Actual clock (min rule in flight).
+        CoreState state = CoreState::stealing;
+        Pending pending = Pending::none;
+        double remaining = 0.0;   ///< Units per `pending`.
+        Tick last_update = 0;
+        uint64_t epoch = 0;
+        int failed_steals = 0;
+        double backoff = 1.0;
+        bool hint_active = true;
+        After after_work = After::advance;
+        /** Entry being fetched after a successful steal. */
+        SpawnedEntry steal_entry{0, -1};
+        /** Activity-time accounting. */
+        Tick state_since = 0;
+        double busy_seconds = 0.0;
+        double waiting_seconds = 0.0;
+        double instr_retired = 0.0;
+        /** Mug engagement. */
+        int mug_peer = -1;
+        bool mug_save_done = false;
+        bool mug_targeted = false; ///< Reserved as muggee.
+        bool mug_for_phase = false;
+    };
+
+    /** Event kinds (per-core ops, transition ends, controller wakeups). */
+    enum class EvKind : uint8_t { core_op, transition, controller };
+
+    struct Event
+    {
+        Tick tick;
+        uint64_t seq;
+        int16_t core;
+        uint64_t epoch;
+        EvKind kind;
+        bool operator>(const Event &o) const
+        {
+            return tick != o.tick ? tick > o.tick : seq > o.seq;
+        }
+    };
+
+    // --- frame pool -----------------------------------------------------
+
+    int32_t allocFrame(uint32_t task, int32_t parent_frame, int worker);
+    void freeFrame(int32_t f);
+
+    // --- time / rate helpers ---------------------------------------------
+
+    double instrRate(const Core &core) const;  ///< instructions / second
+    double cycleRate(const Core &core) const;  ///< cycles / second
+    double rateFor(const Core &core) const;    ///< per current pending
+    void schedule(int c, double delay_seconds);
+    void settle(int c); ///< Consume elapsed progress of the pending op.
+    void updateEnergy(int c);
+    void recordTrace(int c);
+
+    // --- scheduler actions ------------------------------------------------
+
+    void setCoreState(int c, CoreState state);
+    void beginWork(int c, double instrs, After after);
+    void enterStealLoop(int c);
+    void advanceWorker(int c);
+    void onStealDone(int c);
+    void onStealFetchDone(int c);
+    void completeTask(int c, int32_t frame_id);
+    void onChildJoined(int32_t parent_frame);
+    bool allBigActive() const;
+    int pickVictim(int c);
+    void phaseTransition(int c);
+
+    // --- mugging ------------------------------------------------------------
+
+    int pickMuggee(int c) const;
+    void issueMug(int c, int target, bool for_phase);
+    void onMugIssueDone(int c);
+    void onMugSaveDone(int c);
+    void performSwap(int a, int b);
+    void abortMug(int c);
+
+    // --- phases ---------------------------------------------------------------
+
+    void startNextPhase(int c);
+    void dumpStateAndPanic();
+
+    // --- DVFS / census ----------------------------------------------------------
+
+    void onHintsChanged();
+    void applyDecision(const std::vector<double> &targets);
+    void onTransitionDone(int c);
+    void onControllerFree();
+    void setFrequency(int c, double freq);
+    void recordCensus();
+    void setActiveCount(int active);
+    double now() const { return ticksToSeconds(now_); }
+
+    // --- members -----------------------------------------------------------------
+
+    const MachineConfig &config_;
+    const TaskDag &dag_;
+    FirstOrderModel app_model_;
+    FirstOrderModel table_model_;
+    DvfsLookupTable table_;
+    DvfsController controller_;
+    RegulatorModel regulator_;
+    EnergyAccountant energy_;
+    RegionTracker regions_;
+
+    std::vector<Core> cores_;
+    std::vector<Worker> workers_;
+    std::vector<int16_t> worker_core_; ///< worker id -> core id.
+    std::vector<Frame> frames_;
+    std::vector<int32_t> free_frames_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    Tick now_ = 0;
+    uint64_t seq_ = 0;
+
+    // Program state.
+    size_t phase_idx_ = 0;
+    int serial_core_ = -1;
+    bool finished_ = false;
+    Tick finish_tick_ = 0;
+
+    // DVFS controller timing.
+    bool controller_busy_ = false;
+    bool controller_pending_ = false;
+    Tick controller_free_at_ = 0;
+
+    SimResult result_;
+    bool ran_ = false;
+    uint64_t victim_rng_ = 0x9E3779B97F4A7C15ull;
+    int active_count_ = 0;
+    double contention_factor_ = 1.0;
+    // Occupancy-time accounting for the adaptive controller.
+    int census_ba_ = 0;
+    int census_la_ = 0;
+    Tick census_since_ = 0;
+    std::vector<double> occupancy_seconds_;
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_MACHINE_H

@@ -1,0 +1,52 @@
+#include "sim/region_tracker.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+
+RegionTracker::RegionTracker(int big_total, int little_total)
+    : big_total_(big_total), little_total_(little_total)
+{
+}
+
+void
+RegionTracker::charge(double until)
+{
+    double dt = until - last_time_;
+    AAWS_ASSERT(dt >= -1e-15, "region time went backwards");
+    if (dt > 0.0) {
+        int big_inactive = big_total_ - big_active_;
+        if (serial_) {
+            breakdown_.serial += dt;
+        } else if (big_active_ == big_total_ &&
+                   little_active_ == little_total_) {
+            breakdown_.hp += dt;
+        } else if (little_active_ == 0 || big_inactive == 0) {
+            // Mugging is not possible: no little to mug or no big free.
+            breakdown_.lp_other += dt;
+        } else if (big_inactive < little_active_) {
+            breakdown_.lp_bi_lt_la += dt;
+        } else {
+            breakdown_.lp_bi_ge_la += dt;
+        }
+    }
+    last_time_ = until;
+}
+
+void
+RegionTracker::update(double now, bool serial, int big_active,
+                      int little_active)
+{
+    charge(now);
+    serial_ = serial;
+    big_active_ = big_active;
+    little_active_ = little_active;
+}
+
+void
+RegionTracker::finish(double now)
+{
+    charge(now);
+}
+
+} // namespace aaws

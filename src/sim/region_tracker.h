@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Execution-region classification over time (Figure 8 categories).
+ */
+
+#ifndef AAWS_SIM_REGION_TRACKER_H
+#define AAWS_SIM_REGION_TRACKER_H
+
+#include "sim/result.h"
+
+namespace aaws {
+
+/**
+ * Integrates time per region.  The machine reports every census change
+ * (activity or serial-flag transition); the interval since the previous
+ * report is charged to the previous census's category.
+ */
+class RegionTracker
+{
+  public:
+    /** @param big_total Total big cores in the machine. */
+    explicit RegionTracker(int big_total, int little_total);
+
+    /** Report the census holding from `now` onward (seconds). */
+    void update(double now, bool serial, int big_active,
+                int little_active);
+
+    /** Close the timeline. */
+    void finish(double now);
+
+    const RegionBreakdown &breakdown() const { return breakdown_; }
+
+  private:
+    void charge(double until);
+
+    int big_total_;
+    int little_total_;
+    RegionBreakdown breakdown_;
+    double last_time_ = 0.0;
+    bool serial_ = false;
+    int big_active_ = 0;
+    int little_active_ = 0;
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_REGION_TRACKER_H

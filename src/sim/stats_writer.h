@@ -1,0 +1,27 @@
+/**
+ * @file
+ * gem5-style stats dump: serialize a SimResult as the classic
+ * `name  value  # description` text format so existing m5out tooling
+ * and habits work against this simulator's output.
+ */
+
+#ifndef AAWS_SIM_STATS_WRITER_H
+#define AAWS_SIM_STATS_WRITER_H
+
+#include <string>
+
+#include "sim/config.h"
+#include "sim/result.h"
+
+namespace aaws {
+
+/**
+ * Render the run's statistics in gem5 stats.txt format, including
+ * per-core activity/energy lines and the region breakdown.
+ */
+std::string formatStats(const MachineConfig &config,
+                        const SimResult &result);
+
+} // namespace aaws
+
+#endif // AAWS_SIM_STATS_WRITER_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulated time base: unsigned 64-bit picosecond ticks.
+ *
+ * Picoseconds give sub-cycle resolution at the hundreds-of-MHz to GHz
+ * frequencies the DVFS range spans while keeping all event arithmetic in
+ * exact integers (2^64 ps is ~213 days of simulated time).
+ */
+
+#ifndef AAWS_SIM_TICKS_H
+#define AAWS_SIM_TICKS_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace aaws {
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+/** Ticks per simulated second. */
+constexpr double kTicksPerSecond = 1e12;
+
+/** Convert ticks to seconds. */
+inline double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerSecond;
+}
+
+/** Convert seconds to ticks, rounding up so durations never collapse. */
+inline Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(std::ceil(s * kTicksPerSecond));
+}
+
+} // namespace aaws
+
+#endif // AAWS_SIM_TICKS_H

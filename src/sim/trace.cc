@@ -1,0 +1,75 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aaws {
+
+void
+ActivityTrace::record(Tick tick, int core, TraceState state, double voltage)
+{
+    if (!enabled_)
+        return;
+    records_.push_back({tick, static_cast<int16_t>(core), state,
+                        static_cast<float>(voltage)});
+}
+
+std::string
+ActivityTrace::toCsv() const
+{
+    std::string out = "tick_ps,core,state,voltage\n";
+    for (const auto &rec : records_) {
+        out += strfmt("%llu,%d,%c,%.3f\n",
+                      static_cast<unsigned long long>(rec.tick),
+                      static_cast<int>(rec.core),
+                      static_cast<char>(rec.state),
+                      static_cast<double>(rec.voltage));
+    }
+    return out;
+}
+
+std::string
+ActivityTrace::renderAscii(int num_cores, int width, double v_nom) const
+{
+    AAWS_ASSERT(num_cores > 0 && width > 0, "bad render geometry");
+    Tick end = std::max<Tick>(end_, 1);
+
+    std::string out;
+    for (int c = 0; c < num_cores; ++c) {
+        std::string activity(width, static_cast<char>(TraceState::idle));
+        std::string volts(width, ' ');
+        TraceState state = TraceState::idle;
+        double v = v_nom;
+        size_t r = 0;
+        // Records are time-ordered; walk them once per core.
+        std::vector<TraceRecord> core_recs;
+        for (const auto &rec : records_)
+            if (rec.core == c)
+                core_recs.push_back(rec);
+        for (int col = 0; col < width; ++col) {
+            Tick t = end * static_cast<Tick>(col) / width;
+            while (r < core_recs.size() && core_recs[r].tick <= t) {
+                state = core_recs[r].state;
+                v = core_recs[r].voltage;
+                r++;
+            }
+            activity[col] = static_cast<char>(state);
+            char vg = '-';
+            if (v > v_nom + 0.20)
+                vg = '^';
+            else if (v > v_nom + 0.05)
+                vg = '+';
+            else if (v < v_nom - 0.20)
+                vg = '_';
+            else if (v < v_nom - 0.05)
+                vg = 'v';
+            volts[col] = state == TraceState::idle ? ' ' : vg;
+        }
+        out += strfmt("core%-2d act  |%s|\n", c, activity.c_str());
+        out += strfmt("       dvfs |%s|\n", volts.c_str());
+    }
+    return out;
+}
+
+} // namespace aaws

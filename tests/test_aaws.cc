@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests of the variant definitions and the experiment driver wiring
+ * (per-kernel model parameters, serial baselines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aaws/adaptive.h"
+#include "aaws/experiment.h"
+
+namespace aaws {
+namespace {
+
+TEST(Variant, NamesRoundTrip)
+{
+    for (Variant v : allVariants())
+        EXPECT_EQ(variantFromName(variantName(v)), v);
+    EXPECT_EQ(allVariants().size(), 5u);
+}
+
+TEST(Variant, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)variantFromName("base+x"), "unknown variant");
+}
+
+TEST(Variant, TechniqueMatrix)
+{
+    MachineConfig config;
+
+    applyVariant(config, Variant::base);
+    EXPECT_FALSE(config.policy.work_pacing);
+    EXPECT_FALSE(config.policy.work_sprinting);
+    EXPECT_FALSE(config.work_mugging);
+    EXPECT_TRUE(config.policy.serial_sprinting); // aggressive baseline
+    EXPECT_TRUE(config.work_biasing);
+
+    applyVariant(config, Variant::base_p);
+    EXPECT_TRUE(config.policy.work_pacing);
+    EXPECT_FALSE(config.policy.work_sprinting);
+    EXPECT_FALSE(config.work_mugging);
+
+    applyVariant(config, Variant::base_ps);
+    EXPECT_TRUE(config.policy.work_pacing);
+    EXPECT_TRUE(config.policy.work_sprinting);
+    EXPECT_FALSE(config.work_mugging);
+
+    applyVariant(config, Variant::base_psm);
+    EXPECT_TRUE(config.policy.work_pacing);
+    EXPECT_TRUE(config.policy.work_sprinting);
+    EXPECT_TRUE(config.work_mugging);
+
+    applyVariant(config, Variant::base_m);
+    EXPECT_FALSE(config.policy.work_pacing);
+    EXPECT_FALSE(config.policy.work_sprinting);
+    EXPECT_TRUE(config.work_mugging);
+}
+
+TEST(Experiment, ConfigUsesPerKernelModelButDesignerTable)
+{
+    Kernel kernel = makeKernel("cilksort"); // alpha 3.7, beta 1.3
+    MachineConfig config =
+        configFor(kernel, SystemShape::s4B4L, Variant::base_psm);
+    EXPECT_NEAR(config.app_params.alpha, 3.7, 1e-9);
+    EXPECT_NEAR(config.app_params.beta, 1.3, 1e-9);
+    // Designer's table estimates stay at the defaults.
+    EXPECT_NEAR(config.table_params.alpha, 3.0, 1e-9);
+    EXPECT_NEAR(config.table_params.beta, 2.0, 1e-9);
+}
+
+TEST(Experiment, SystemShapes)
+{
+    Kernel kernel = makeKernel("mis");
+    MachineConfig c4 = configFor(kernel, SystemShape::s4B4L, Variant::base);
+    EXPECT_EQ(c4.n_big, 4);
+    EXPECT_EQ(c4.n_little, 4);
+    MachineConfig c1 = configFor(kernel, SystemShape::s1B7L, Variant::base);
+    EXPECT_EQ(c1.n_big, 1);
+    EXPECT_EQ(c1.n_little, 7);
+    EXPECT_STREQ(systemName(SystemShape::s4B4L), "4B4L");
+    EXPECT_STREQ(systemName(SystemShape::s1B7L), "1B7L");
+}
+
+TEST(Experiment, SerialBaselinesFollowBeta)
+{
+    Kernel kernel = makeKernel("mis");
+    double t_little = serialSeconds(kernel, CoreType::little);
+    double t_big = serialSeconds(kernel, CoreType::big);
+    EXPECT_NEAR(t_little / t_big, kernel.stats.beta, 1e-9);
+}
+
+TEST(Experiment, SerialEnergyRatioApproximatesAlpha)
+{
+    Kernel kernel = makeKernel("mis");
+    double e_little = serialEnergy(kernel, CoreType::little);
+    double e_big = serialEnergy(kernel, CoreType::big);
+    // ERatio = alpha up to the leakage correction.
+    EXPECT_NEAR(e_big / e_little, kernel.stats.alpha,
+                0.15 * kernel.stats.alpha);
+}
+
+TEST(Experiment, RunKernelProducesPositiveMetrics)
+{
+    RunResult result =
+        runKernel("mis", SystemShape::s4B4L, Variant::base);
+    EXPECT_GT(result.sim.exec_seconds, 0.0);
+    EXPECT_GT(result.sim.energy, 0.0);
+    EXPECT_GT(result.efficiency(), 0.0);
+    EXPECT_EQ(result.kernel, "mis");
+}
+
+TEST(Experiment, ParallelBeatsSerialOnBothSystems)
+{
+    Kernel kernel = makeKernel("mis");
+    double serial_io = serialSeconds(kernel, CoreType::little);
+    for (SystemShape shape : {SystemShape::s4B4L, SystemShape::s1B7L}) {
+        RunResult result = runKernel(kernel, shape, Variant::base);
+        EXPECT_GT(serial_io / result.sim.exec_seconds, 2.0)
+            << systemName(shape);
+    }
+}
+
+TEST(Adaptive, ImprovesEdpWithinPowerCap)
+{
+    Kernel kernel = makeKernel("qsort-1");
+    AdaptiveOptions options;
+    options.max_accepted = 4;
+    AdaptiveReport report =
+        adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    EXPECT_LE(report.tuned_edp, report.static_edp);
+    EXPECT_LE(report.tuned_power,
+              report.static_power * options.power_slack + 1e-9);
+}
+
+TEST(Adaptive, TunedVoltagesStayFeasible)
+{
+    Kernel kernel = makeKernel("mis");
+    AdaptiveOptions options;
+    options.max_accepted = 3;
+    AdaptiveReport report =
+        adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    ModelParams params;
+    for (int ba = 0; ba <= 4; ++ba) {
+        for (int la = 0; la <= 4; ++la) {
+            const DvfsTableEntry &e = report.table.at(ba, la);
+            EXPECT_GE(e.v_big, params.v_min - 1e-9);
+            EXPECT_LE(e.v_big, params.v_max + 1e-9);
+            EXPECT_GE(e.v_little, params.v_min - 1e-9);
+            EXPECT_LE(e.v_little, params.v_max + 1e-9);
+        }
+    }
+}
+
+TEST(Adaptive, Deterministic)
+{
+    Kernel kernel = makeKernel("mis");
+    AdaptiveOptions options;
+    options.max_accepted = 2;
+    AdaptiveReport a = adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    AdaptiveReport b = adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    EXPECT_EQ(a.tuned_edp, b.tuned_edp);
+    EXPECT_EQ(a.accepted.size(), b.accepted.size());
+}
+
+TEST(Adaptive, ZeroBudgetKeepsStaticTable)
+{
+    Kernel kernel = makeKernel("mis");
+    AdaptiveOptions options;
+    options.max_accepted = 0;
+    AdaptiveReport report =
+        adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    EXPECT_TRUE(report.accepted.empty());
+    EXPECT_EQ(report.tuned_edp, report.static_edp);
+}
+
+TEST(Adaptive, AcceptedStepsRecordMonotoneEdp)
+{
+    Kernel kernel = makeKernel("qsort-1");
+    AdaptiveOptions options;
+    options.max_accepted = 5;
+    AdaptiveReport report =
+        adaptDvfsTable(kernel, SystemShape::s4B4L, options);
+    double prev = report.static_edp;
+    for (const auto &step : report.accepted) {
+        EXPECT_LT(step.edp, prev);
+        prev = step.edp;
+    }
+}
+
+TEST(MachineConfig, TableOverrideIsUsed)
+{
+    // An override table with all-nominal voltages must behave like the
+    // asymmetry-oblivious baseline even under base+psm's pacing policy.
+    Kernel kernel = makeKernel("radix-2");
+    MachineConfig config =
+        configFor(kernel, SystemShape::s4B4L, Variant::base_ps);
+    FirstOrderModel designer(config.table_params);
+    DvfsLookupTable flat(designer, 4, 4);
+    for (int ba = 0; ba <= 4; ++ba)
+        for (int la = 0; la <= 4; ++la)
+            flat.setEntry(ba, la, DvfsTableEntry{1.0, 1.0, 1.0});
+    config.table_override = &flat;
+    // Sprinting still rests waiters at v_min, but active cores stay
+    // nominal: the run must be slower than with the real table.
+    SimResult flat_run = Machine(config, kernel.dag).run();
+    SimResult tuned_run =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base_ps).sim;
+    EXPECT_GT(flat_run.exec_seconds, tuned_run.exec_seconds);
+}
+
+TEST(CoreStatsCheck, BusyPlusWaitingCoversRun)
+{
+    Kernel kernel = makeKernel("mis");
+    SimResult result =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base).sim;
+    ASSERT_EQ(result.core_stats.size(), 8u);
+    for (const auto &stats : result.core_stats) {
+        EXPECT_NEAR(stats.busy_seconds + stats.waiting_seconds,
+                    result.exec_seconds, result.exec_seconds * 1e-6);
+        EXPECT_GT(stats.energy, 0.0);
+    }
+    // Core energies sum to the system energy.
+    double sum = 0.0;
+    for (const auto &stats : result.core_stats)
+        sum += stats.energy;
+    EXPECT_NEAR(sum, result.energy, result.energy * 1e-9);
+}
+
+TEST(CoreStatsCheck, OccupancySecondsCoverRun)
+{
+    Kernel kernel = makeKernel("radix-2");
+    SimResult result =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base_psm).sim;
+    ASSERT_EQ(result.occupancy_seconds.size(), 25u);
+    double total = 0.0;
+    for (double s : result.occupancy_seconds)
+        total += s;
+    EXPECT_NEAR(total, result.exec_seconds, result.exec_seconds * 1e-6);
+}
+
+} // namespace
+} // namespace aaws

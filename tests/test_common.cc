@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism and
+ * distributions, statistics helpers, string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace aaws {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differ = 0;
+    for (int i = 0; i < 64; ++i)
+        differ += a.next() != b.next();
+    EXPECT_GT(differ, 60);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.exponential(3.0);
+    EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(17);
+    constexpr int kN = 200000;
+    std::vector<double> xs(kN);
+    for (auto &x : xs)
+        x = rng.normal(10.0, 2.0);
+    EXPECT_NEAR(mean(xs), 10.0, 0.05);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(23);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all 5 values appear
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, StddevKnownValue)
+{
+    // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+    EXPECT_DOUBLE_EQ(minOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Logging, AssertDeath)
+{
+    EXPECT_DEATH(AAWS_ASSERT(false, "boom %d", 42), "boom 42");
+}
+
+} // namespace
+} // namespace aaws

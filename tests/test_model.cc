@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests of the Section II first-order model and marginal-utility
+ * optimizer against the paper's published operating points:
+ *
+ *  - HP 4B4L all-active: optimal (0.86 V, 1.44 V) -> 1.12x; feasible
+ *    (0.93 V, 1.30 V) -> 1.10x.
+ *  - LP 4B4L with 2B2L active: optimal (1.02 V, 1.70 V) -> 1.55x;
+ *    feasible (1.16 V, 1.30 V) -> 1.45x.
+ *  - Single remaining task: little optimal 2.59 V, feasible V_max ->
+ *    ~1.6x; big optimal 1.51 V, feasible V_max -> ~3.3x vs little@V_N.
+ *
+ * Tolerances reflect that the paper does not publish its exact waiting
+ * power model (see ModelParams::waiting_activity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/first_order.h"
+#include "model/optimizer.h"
+#include <cmath>
+
+#include "model/pareto.h"
+#include "model/surface.h"
+
+namespace aaws {
+namespace {
+
+TEST(VfModel, NominalFrequencyIs333MHz)
+{
+    FirstOrderModel model;
+    EXPECT_NEAR(model.freq(1.0), 333e6, 1e6);
+}
+
+TEST(VfModel, LinearAndInvertible)
+{
+    FirstOrderModel model;
+    for (double v = 0.7; v <= 1.3; v += 0.1) {
+        double f = model.freq(v);
+        EXPECT_NEAR(model.voltageFor(f), v, 1e-12);
+    }
+}
+
+TEST(VfModel, FrequencyIncreasesWithVoltage)
+{
+    FirstOrderModel model;
+    EXPECT_LT(model.freq(0.7), model.freq(1.0));
+    EXPECT_LT(model.freq(1.0), model.freq(1.3));
+}
+
+TEST(FirstOrder, BigCoreFasterAndHungrier)
+{
+    FirstOrderModel model;
+    EXPECT_NEAR(model.ips(CoreType::big, 1.0) /
+                    model.ips(CoreType::little, 1.0),
+                2.0, 1e-12); // beta
+    double e_big = model.activePower(CoreType::big, 1.0) /
+                   model.ips(CoreType::big, 1.0);
+    double e_little = model.activePower(CoreType::little, 1.0) /
+                      model.ips(CoreType::little, 1.0);
+    // Energy per instruction ratio approximates alpha = 3 (leakage
+    // shifts it slightly).
+    EXPECT_NEAR(e_big / e_little, 3.0, 0.4);
+}
+
+TEST(FirstOrder, LeakageCalibration)
+{
+    FirstOrderModel model;
+    const ModelParams &p = model.params();
+    // Big-core leakage power at nominal is lambda of total power.
+    double leak_power = p.v_nom * model.leakCurrent(CoreType::big);
+    double total = model.nominalPower(CoreType::big);
+    EXPECT_NEAR(leak_power / total, p.lambda, 1e-9);
+    // Little leakage current is gamma of big.
+    EXPECT_NEAR(model.leakCurrent(CoreType::little) /
+                    model.leakCurrent(CoreType::big),
+                p.gamma, 1e-12);
+}
+
+TEST(FirstOrder, WaitingPowerBelowActive)
+{
+    FirstOrderModel model;
+    for (double v : {0.7, 1.0, 1.3}) {
+        EXPECT_LT(model.waitingPower(CoreType::big, v),
+                  model.activePower(CoreType::big, v));
+        EXPECT_LT(model.waitingPower(CoreType::little, v),
+                  model.activePower(CoreType::little, v));
+    }
+}
+
+TEST(FirstOrder, MarginalCostMatchesFiniteDifference)
+{
+    FirstOrderModel model;
+    for (CoreType type : {CoreType::big, CoreType::little}) {
+        for (double v : {0.8, 1.0, 1.2}) {
+            double h = 1e-6;
+            double dp = model.activePower(type, v + h) -
+                        model.activePower(type, v - h);
+            double dips = model.ips(type, v + h) - model.ips(type, v - h);
+            EXPECT_NEAR(model.marginalCost(type, v), dp / dips,
+                        1e-4 * model.marginalCost(type, v));
+        }
+    }
+}
+
+TEST(FirstOrder, PowerTargetIsEq6)
+{
+    FirstOrderModel model;
+    double expected = 4 * model.nominalPower(CoreType::big) +
+                      4 * model.nominalPower(CoreType::little);
+    EXPECT_DOUBLE_EQ(model.powerTarget(4, 4), expected);
+}
+
+class OptimizerFixture : public ::testing::Test
+{
+  protected:
+    FirstOrderModel model_;
+    MarginalUtilityOptimizer opt_{model_};
+};
+
+TEST_F(OptimizerFixture, HpOptimalMatchesPaper)
+{
+    CoreActivity hp{4, 4, 0, 0};
+    OperatingPoint point =
+        opt_.solve(hp, opt_.targetPower(hp), /*feasible=*/false);
+    EXPECT_NEAR(point.v_big, 0.86, 0.05);
+    EXPECT_NEAR(point.v_little, 1.44, 0.08);
+    EXPECT_NEAR(point.speedup, 1.12, 0.02);
+    // Law of Equi-Marginal Utility holds at the unconstrained optimum.
+    EXPECT_NEAR(model_.marginalCost(CoreType::big, point.v_big),
+                model_.marginalCost(CoreType::little, point.v_little),
+                0.02 * model_.marginalCost(CoreType::big, point.v_big));
+}
+
+TEST_F(OptimizerFixture, HpFeasibleMatchesPaper)
+{
+    CoreActivity hp{4, 4, 0, 0};
+    OperatingPoint point =
+        opt_.solve(hp, opt_.targetPower(hp), /*feasible=*/true);
+    EXPECT_NEAR(point.v_big, 0.93, 0.03);
+    EXPECT_NEAR(point.v_little, 1.30, 1e-6); // clamped at V_max
+    EXPECT_NEAR(point.speedup, 1.10, 0.02);
+    EXPECT_TRUE(point.clamped);
+}
+
+TEST_F(OptimizerFixture, LpOptimalMatchesPaper)
+{
+    CoreActivity lp{2, 2, 2, 2};
+    double target = opt_.targetPower(CoreActivity{4, 4, 0, 0});
+    OperatingPoint point = opt_.solve(lp, target, /*feasible=*/false);
+    EXPECT_NEAR(point.v_big, 1.02, 0.05);
+    EXPECT_NEAR(point.v_little, 1.70, 0.08);
+    EXPECT_NEAR(point.speedup, 1.55, 0.02);
+}
+
+TEST_F(OptimizerFixture, LpFeasibleMatchesPaper)
+{
+    CoreActivity lp{2, 2, 2, 2};
+    double target = opt_.targetPower(CoreActivity{4, 4, 0, 0});
+    OperatingPoint point = opt_.solve(lp, target, /*feasible=*/true);
+    EXPECT_NEAR(point.v_big, 1.16, 0.03);
+    EXPECT_NEAR(point.v_little, 1.30, 1e-6);
+    EXPECT_NEAR(point.speedup, 1.45, 0.02);
+}
+
+TEST_F(OptimizerFixture, SingleTaskOnLittleMatchesPaper)
+{
+    CoreActivity act{0, 1, 4, 3};
+    double target = opt_.targetPower(CoreActivity{4, 4, 0, 0});
+    OperatingPoint optimal = opt_.solve(act, target, /*feasible=*/false);
+    EXPECT_NEAR(optimal.v_little, 2.59, 0.12);
+    OperatingPoint feasible = opt_.solve(act, target, /*feasible=*/true);
+    EXPECT_NEAR(feasible.v_little, 1.30, 1e-6);
+    // f(1.3)/f(1.0): the paper rounds 1.66 down to "1.6x".
+    EXPECT_NEAR(feasible.speedup, 1.66, 0.02);
+}
+
+TEST_F(OptimizerFixture, SingleTaskOnBigMatchesPaper)
+{
+    CoreActivity act{1, 0, 3, 4};
+    double target = opt_.targetPower(CoreActivity{4, 4, 0, 0});
+    OperatingPoint optimal = opt_.solve(act, target, /*feasible=*/false);
+    EXPECT_NEAR(optimal.v_big, 1.51, 0.05);
+    OperatingPoint feasible = opt_.solve(act, target, /*feasible=*/true);
+    double vs_little_nominal =
+        feasible.ips / model_.ips(CoreType::little, 1.0);
+    EXPECT_NEAR(vs_little_nominal, 3.3, 0.05);
+}
+
+TEST_F(OptimizerFixture, SolutionRespectsPowerBudget)
+{
+    for (int ba = 0; ba <= 4; ++ba) {
+        for (int la = 0; la <= 4; ++la) {
+            if (ba == 0 && la == 0)
+                continue;
+            CoreActivity act{ba, la, 4 - ba, 4 - la};
+            double target = opt_.targetPower(act);
+            OperatingPoint point = opt_.solve(act, target, true);
+            EXPECT_LE(point.power, target * (1.0 + 1e-6))
+                << "ba=" << ba << " la=" << la;
+        }
+    }
+}
+
+TEST_F(OptimizerFixture, OptimumBeatsNeighbors)
+{
+    // Property: perturbing the feasible solution along the isopower
+    // constraint never improves throughput.
+    CoreActivity hp{4, 4, 0, 0};
+    double target = opt_.targetPower(hp);
+    OperatingPoint point = opt_.solve(hp, target, false);
+    for (double dv : {-0.02, -0.005, 0.005, 0.02}) {
+        double v_big = point.v_big + dv;
+        // Re-solve v_little for the same power.
+        double lo = 0.56, hi = 8.0;
+        for (int i = 0; i < 60; ++i) {
+            double mid = 0.5 * (lo + hi);
+            if (opt_.systemPower(hp, v_big, mid) < target)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        double v_little = 0.5 * (lo + hi);
+        EXPECT_LE(opt_.activeIps(hp, v_big, v_little),
+                  point.ips * (1.0 + 1e-6));
+    }
+}
+
+TEST_F(OptimizerFixture, NoActiveCoresGivesZero)
+{
+    CoreActivity act{0, 0, 4, 4};
+    OperatingPoint point =
+        opt_.solve(act, opt_.targetPower(act), true);
+    EXPECT_EQ(point.ips, 0.0);
+}
+
+TEST(Pareto, UpperRightQuadrantExists)
+{
+    FirstOrderModel model;
+    CoreActivity busy{4, 4, 0, 0};
+    ParetoSweep sweep = paretoSweep(model, busy, 12);
+    // The paper's key observation: points with BOTH better performance
+    // and better energy efficiency than nominal exist.
+    bool upper_right = false;
+    for (const auto &s : sweep.samples)
+        upper_right |= s.perf > 1.0 && s.efficiency > 1.0;
+    EXPECT_TRUE(upper_right);
+}
+
+TEST(Pareto, BestIsopowerBeatsNominal)
+{
+    FirstOrderModel model;
+    CoreActivity busy{4, 4, 0, 0};
+    ParetoSweep sweep = paretoSweep(model, busy, 24);
+    EXPECT_GT(sweep.best_isopower.perf, 1.05);
+    EXPECT_LE(sweep.best_isopower.power, 1.0 + 1e-9);
+    // Matches the feasible HP operating point within grid resolution.
+    EXPECT_NEAR(sweep.best_isopower.v_little, 1.30, 0.03);
+}
+
+TEST(Pareto, FrontierIsNonDominated)
+{
+    FirstOrderModel model;
+    CoreActivity busy{2, 2, 0, 0};
+    ParetoSweep sweep = paretoSweep(model, busy, 10);
+    for (const auto &s : sweep.samples) {
+        if (!s.pareto_optimal)
+            continue;
+        for (const auto &other : sweep.samples) {
+            bool dominates = other.perf > s.perf &&
+                             other.efficiency > s.efficiency;
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST(Pareto, IsopowerSamplesLieOnTheDiagonal)
+{
+    // At equal power, efficiency (IPS/W) scales exactly with
+    // performance, so samples near power = 1 sit near eff = perf --
+    // the diagonal isopower line of Figure 2.
+    FirstOrderModel model;
+    CoreActivity busy{4, 4, 0, 0};
+    ParetoSweep sweep = paretoSweep(model, busy, 30);
+    int checked = 0;
+    for (const auto &s : sweep.samples) {
+        if (std::abs(s.power - 1.0) < 0.01) {
+            EXPECT_NEAR(s.efficiency, s.perf, 0.02);
+            checked++;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Surface, SpeedupGrowsWithAlphaOverBeta)
+{
+    // Figure 4: marginal-utility benefit is largest when alpha/beta is
+    // large (expensive big core, modest speedup).
+    ModelParams base;
+    CoreActivity busy{4, 4, 0, 0};
+    auto cells = speedupSurface(base, busy, 2.0, 4.0, 2, 2.0, 2.0, 1);
+    // cells: alpha in {2,3,4} x beta in {2,2}; dedupe beta by stride.
+    ASSERT_EQ(cells.size(), 6u);
+    EXPECT_LT(cells[0].optimal_speedup, cells[4].optimal_speedup);
+}
+
+TEST(Surface, FeasibleNeverExceedsOptimal)
+{
+    ModelParams base;
+    CoreActivity busy{4, 4, 0, 0};
+    auto cells = speedupSurface(base, busy, 1.0, 5.0, 4, 1.0, 4.0, 3);
+    for (const auto &cell : cells) {
+        EXPECT_LE(cell.feasible_speedup,
+                  cell.optimal_speedup * (1.0 + 1e-6));
+        EXPECT_GE(cell.feasible_speedup, 1.0 - 1e-9);
+    }
+}
+
+TEST(Surface, HomogeneousSystemGainsNothing)
+{
+    // With alpha = beta = 1 the "big" cores are identical to little
+    // cores: the Law of Equi-Marginal Utility says run all at V_N.
+    ModelParams base;
+    CoreActivity busy{4, 4, 0, 0};
+    auto cells = speedupSurface(base, busy, 1.0, 1.0, 1, 1.0, 1.0, 1);
+    for (const auto &cell : cells)
+        EXPECT_NEAR(cell.optimal_speedup, 1.0, 1e-3);
+}
+
+} // namespace
+} // namespace aaws

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Parameterized property suites: invariants that must hold across the
+ * whole cross product of kernels, variants, machine shapes, and model
+ * parameters (rather than at hand-picked points).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "aaws/experiment.h"
+#include "model/optimizer.h"
+
+namespace aaws {
+namespace {
+
+// --- optimizer properties over the (alpha, beta) plane -------------------
+
+class OptimizerSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(OptimizerSweep, FeasibleRespectsBudgetAndBounds)
+{
+    auto [alpha, beta] = GetParam();
+    ModelParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    FirstOrderModel model(params);
+    MarginalUtilityOptimizer opt(model);
+    for (int ba = 0; ba <= 4; ++ba) {
+        for (int la = 0; la <= 4; ++la) {
+            if (ba == 0 && la == 0)
+                continue;
+            CoreActivity act{ba, la, 4 - ba, 4 - la};
+            double target = opt.targetPower(act);
+            OperatingPoint f = opt.solve(act, target, true);
+            EXPECT_LE(f.power, target * (1 + 1e-6));
+            if (ba > 0) {
+                EXPECT_GE(f.v_big, params.v_min - 1e-9);
+                EXPECT_LE(f.v_big, params.v_max + 1e-9);
+            }
+            if (la > 0) {
+                EXPECT_GE(f.v_little, params.v_min - 1e-9);
+                EXPECT_LE(f.v_little, params.v_max + 1e-9);
+            }
+        }
+    }
+}
+
+TEST_P(OptimizerSweep, FeasibleNeverBeatsOptimal)
+{
+    auto [alpha, beta] = GetParam();
+    ModelParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    FirstOrderModel model(params);
+    MarginalUtilityOptimizer opt(model);
+    CoreActivity act{4, 4, 0, 0};
+    double target = opt.targetPower(act);
+    OperatingPoint optimal = opt.solve(act, target, false);
+    OperatingPoint feasible = opt.solve(act, target, true);
+    EXPECT_LE(feasible.ips, optimal.ips * (1 + 1e-6));
+    EXPECT_GE(feasible.speedup, 1.0 - 1e-6); // V_N is always feasible
+}
+
+TEST_P(OptimizerSweep, EquiMarginalAtInteriorOptimum)
+{
+    auto [alpha, beta] = GetParam();
+    ModelParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    FirstOrderModel model(params);
+    MarginalUtilityOptimizer opt(model);
+    CoreActivity act{4, 4, 0, 0};
+    OperatingPoint o = opt.solve(act, opt.targetPower(act), false);
+    double mc_big = model.marginalCost(CoreType::big, o.v_big);
+    double mc_little = model.marginalCost(CoreType::little, o.v_little);
+    EXPECT_NEAR(mc_big / mc_little, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBeta, OptimizerSweep,
+    ::testing::Combine(::testing::Values(1.5, 2.0, 3.0, 4.5),
+                       ::testing::Values(1.2, 2.0, 3.0)),
+    [](const auto &info) {
+        return "a" +
+               std::to_string(int(std::get<0>(info.param) * 10)) +
+               "_b" +
+               std::to_string(int(std::get<1>(info.param) * 10));
+    });
+
+// --- machine-shape properties --------------------------------------------
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static TaskDag
+    workload()
+    {
+        TaskDag dag;
+        uint32_t root = dag.addTask();
+        for (int i = 0; i < 24; ++i) {
+            uint32_t child = dag.addTask();
+            dag.addWork(child, 400'000 + 40'000u * (i % 5));
+            dag.addSpawn(root, child);
+        }
+        dag.addSync(root);
+        dag.addPhase(100'000, static_cast<int32_t>(root));
+        return dag;
+    }
+};
+
+TEST_P(ShapeSweep, AllVariantsCompleteAndAccount)
+{
+    auto [n_big, n_little] = GetParam();
+    TaskDag dag = workload();
+    for (Variant v : allVariants()) {
+        MachineConfig config;
+        config.n_big = n_big;
+        config.n_little = n_little;
+        applyVariant(config, v);
+        SimResult r = Machine(config, dag).run();
+        EXPECT_GT(r.exec_seconds, 0.0) << variantName(v);
+        EXPECT_EQ(r.tasks_executed, 25u) << variantName(v);
+        EXPECT_NEAR(r.regions.total(), r.exec_seconds,
+                    r.exec_seconds * 1e-6)
+            << variantName(v);
+        EXPECT_GE(r.instructions, 24u * 400'000u);
+        double core_energy = 0.0;
+        for (const auto &stats : r.core_stats)
+            core_energy += stats.energy;
+        EXPECT_NEAR(core_energy, r.energy, r.energy * 1e-9);
+    }
+}
+
+TEST_P(ShapeSweep, MoreBigCoresNeverSlower)
+{
+    auto [n_big, n_little] = GetParam();
+    if (n_big + n_little >= 8)
+        GTEST_SKIP() << "only meaningful for upgradable shapes";
+    TaskDag dag = workload();
+    MachineConfig small;
+    small.n_big = n_big;
+    small.n_little = n_little;
+    applyVariant(small, Variant::base);
+    MachineConfig bigger = small;
+    bigger.n_big = n_big + 1;
+    SimResult a = Machine(small, dag).run();
+    SimResult b = Machine(bigger, dag).run();
+    EXPECT_LE(b.exec_seconds, a.exec_seconds * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 2),
+                      std::make_tuple(2, 6), std::make_tuple(6, 2),
+                      std::make_tuple(1, 7), std::make_tuple(4, 4),
+                      std::make_tuple(8, 0), std::make_tuple(0, 8)),
+    [](const auto &info) {
+        return std::to_string(std::get<0>(info.param)) + "B" +
+               std::to_string(std::get<1>(info.param)) + "L";
+    });
+
+// --- per-kernel scheduler invariants ---------------------------------------
+
+class KernelInvariants : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelInvariants, EveryTaskRunsExactlyOnce)
+{
+    Kernel kernel = makeKernel(GetParam());
+    for (Variant v : {Variant::base, Variant::base_psm}) {
+        SimResult r = runKernel(kernel, SystemShape::s4B4L, v).sim;
+        EXPECT_EQ(r.tasks_executed, kernel.dag.numTasks())
+            << variantName(v);
+    }
+}
+
+TEST_P(KernelInvariants, InstructionsCoverDagWork)
+{
+    Kernel kernel = makeKernel(GetParam());
+    SimResult r =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base_psm).sim;
+    // All DAG work executes, plus bounded runtime overhead (< 25%).
+    EXPECT_GE(r.instructions, kernel.dag.totalWork());
+    EXPECT_LE(r.instructions,
+              kernel.dag.totalWork() + kernel.dag.totalWork() / 4 +
+                  1'000'000u);
+}
+
+TEST_P(KernelInvariants, ExecTimeBoundedByWorkAndSpanLaws)
+{
+    // Brent-style bounds: T_P >= max(T_1/ideal_throughput, T_inf/fast)
+    // and T_P <= T_1 / slowest-core throughput.
+    Kernel kernel = makeKernel(GetParam());
+    SimResult r =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base).sim;
+    MachineConfig config =
+        configFor(kernel, SystemShape::s4B4L, Variant::base);
+    FirstOrderModel model(config.app_params);
+    double ips_little = model.ips(CoreType::little, 1.0);
+    double ips_big = model.ips(CoreType::big, 1.0);
+    double ideal = 4 * ips_big + 4 * ips_little;
+    double work = static_cast<double>(r.instructions);
+    EXPECT_GE(r.exec_seconds, work / ideal * 0.999) << "below T1/P bound";
+    EXPECT_LE(r.exec_seconds, work / ips_little) << "worse than serial";
+}
+
+TEST_P(KernelInvariants, MuggingEliminatesEligibleRegions)
+{
+    Kernel kernel = makeKernel(GetParam());
+    SimResult r =
+        runKernel(kernel, SystemShape::s4B4L, Variant::base_psm).sim;
+    double eligible = r.regions.lp_bi_lt_la + r.regions.lp_bi_ge_la;
+    EXPECT_LT(eligible, 0.05 * r.exec_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelInvariants, ::testing::ValuesIn(kernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace aaws

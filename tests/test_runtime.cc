@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Tests of the native concurrent work-stealing runtime: Chase-Lev deque
+ * semantics (sequential and under real thief contention), the worker
+ * pool, TaskGroup joins, parallel_for/reduce/invoke correctness, and the
+ * Table II comparison schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/central_queue.h"
+#include "runtime/hooks.h"
+#include "runtime/parallel_for.h"
+#include "runtime/parallel_invoke.h"
+#include "runtime/task_group.h"
+#include "runtime/worker_pool.h"
+
+namespace aaws {
+namespace {
+
+TEST(ChaseLev, LifoOwnerPops)
+{
+    ChaseLevDeque<int64_t> dq;
+    for (int64_t i = 0; i < 10; ++i)
+        dq.push(i);
+    for (int64_t i = 9; i >= 0; --i) {
+        int64_t out = -1;
+        ASSERT_TRUE(dq.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    int64_t out;
+    EXPECT_FALSE(dq.pop(out));
+}
+
+TEST(ChaseLev, FifoThiefSteals)
+{
+    ChaseLevDeque<int64_t> dq;
+    for (int64_t i = 0; i < 10; ++i)
+        dq.push(i);
+    for (int64_t i = 0; i < 10; ++i) {
+        int64_t out = -1;
+        ASSERT_TRUE(dq.steal(out));
+        EXPECT_EQ(out, i);
+    }
+    int64_t out;
+    EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(ChaseLev, GrowthPreservesContents)
+{
+    ChaseLevDeque<int64_t> dq(8);
+    for (int64_t i = 0; i < 5000; ++i)
+        dq.push(i);
+    EXPECT_EQ(dq.sizeEstimate(), 5000);
+    int64_t sum = 0;
+    int64_t out;
+    while (dq.pop(out))
+        sum += out;
+    EXPECT_EQ(sum, 5000LL * 4999 / 2);
+}
+
+TEST(ChaseLev, InterleavedPushPopStealKeepsEveryElementOnce)
+{
+    ChaseLevDeque<int64_t> dq;
+    std::vector<int> seen(1000, 0);
+    int64_t out;
+    for (int64_t i = 0; i < 1000; ++i) {
+        dq.push(i);
+        if (i % 3 == 0 && dq.steal(out))
+            seen[out]++;
+        if (i % 5 == 0 && dq.pop(out))
+            seen[out]++;
+    }
+    while (dq.pop(out))
+        seen[out]++;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(ChaseLev, ConcurrentThievesNeverDuplicateOrLose)
+{
+    constexpr int64_t kItems = 200000;
+    constexpr int kThieves = 3;
+    ChaseLevDeque<int64_t> dq;
+    std::atomic<int64_t> stolen_sum{0};
+    std::atomic<int64_t> stolen_count{0};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&] {
+            int64_t out;
+            while (!done.load(std::memory_order_acquire)) {
+                if (dq.steal(out)) {
+                    stolen_sum.fetch_add(out, std::memory_order_relaxed);
+                    stolen_count.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+            while (dq.steal(out)) {
+                stolen_sum.fetch_add(out, std::memory_order_relaxed);
+                stolen_count.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    int64_t owner_sum = 0;
+    int64_t owner_count = 0;
+    int64_t out;
+    for (int64_t i = 0; i < kItems; ++i) {
+        dq.push(i);
+        if (i % 2 == 0 && dq.pop(out)) {
+            owner_sum += out;
+            owner_count++;
+        }
+    }
+    while (dq.pop(out)) {
+        owner_sum += out;
+        owner_count++;
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &thief : thieves)
+        thief.join();
+
+    EXPECT_EQ(owner_count + stolen_count.load(), kItems);
+    EXPECT_EQ(owner_sum + stolen_sum.load(), kItems * (kItems - 1) / 2);
+}
+
+TEST(WorkerPool, SpawnedTasksAllRun)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 1000; ++i)
+        group.run([&ran] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(WorkerPool, SingleWorkerStillCompletes)
+{
+    WorkerPool pool(1);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+        group.run([&ran] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkerPool, NestedGroupsJoinInOrder)
+{
+    WorkerPool pool(4);
+    std::atomic<int> inner_done{0};
+    std::atomic<bool> outer_saw_inner{false};
+    TaskGroup outer(pool);
+    outer.run([&] {
+        TaskGroup inner(pool);
+        for (int i = 0; i < 50; ++i)
+            inner.run([&] { inner_done.fetch_add(1); });
+        inner.wait();
+        outer_saw_inner.store(inner_done.load() == 50);
+    });
+    outer.wait();
+    EXPECT_TRUE(outer_saw_inner.load());
+}
+
+TEST(WorkerPool, DestructorWaitsInGroupScope)
+{
+    WorkerPool pool(3);
+    std::atomic<int> ran{0};
+    {
+        TaskGroup group(pool);
+        group.run([&ran] { ran.fetch_add(1); });
+        // no explicit wait: the destructor joins
+    }
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, SumsDisjointRanges)
+{
+    WorkerPool pool(4);
+    std::vector<int64_t> data(100000);
+    parallelFor(pool, 0, 100000, 512, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            data[i] = i;
+    });
+    int64_t sum = std::accumulate(data.begin(), data.end(), int64_t{0});
+    EXPECT_EQ(sum, 100000LL * 99999 / 2);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges)
+{
+    WorkerPool pool(2);
+    std::atomic<int> calls{0};
+    parallelFor(pool, 5, 5, 4, [&](int64_t, int64_t) { calls++; });
+    EXPECT_EQ(calls.load(), 0);
+    parallelFor(pool, 0, 1, 4, [&](int64_t lo, int64_t hi) {
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 1);
+        calls++;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, LeafSizesRespectGrain)
+{
+    WorkerPool pool(4);
+    std::atomic<int64_t> max_leaf{0};
+    parallelFor(pool, 0, 10000, 64, [&](int64_t lo, int64_t hi) {
+        int64_t size = hi - lo;
+        int64_t prev = max_leaf.load();
+        while (size > prev && !max_leaf.compare_exchange_weak(prev, size)) {
+        }
+    });
+    EXPECT_LE(max_leaf.load(), 64);
+}
+
+TEST(ParallelForAuto, CoversRangeWithoutAGrain)
+{
+    WorkerPool pool(4);
+    std::vector<int64_t> data(30000, 0);
+    parallelForAuto(pool, 0, 30000, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            data[i] = i + 1;
+    });
+    int64_t sum = std::accumulate(data.begin(), data.end(), int64_t{0});
+    EXPECT_EQ(sum, 30000LL * 30001 / 2);
+}
+
+TEST(ParallelForAuto, ProducesEnoughChunksToBalance)
+{
+    WorkerPool pool(4);
+    std::atomic<int> leaves{0};
+    parallelForAuto(pool, 0, 100000,
+                    [&](int64_t, int64_t) { leaves.fetch_add(1); });
+    // 4 chunks per worker target; halving splits may round up to the
+    // next power of two.
+    EXPECT_GE(leaves.load(), 16);
+    EXPECT_LE(leaves.load(), 64);
+}
+
+TEST(ParallelForAuto, TinyRangeDegeneratesGracefully)
+{
+    WorkerPool pool(4);
+    std::atomic<int> iters{0};
+    parallelForAuto(pool, 0, 3, [&](int64_t lo, int64_t hi) {
+        iters.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(iters.load(), 3);
+}
+
+TEST(ParallelReduce, MatchesSerialSum)
+{
+    WorkerPool pool(4);
+    auto value = parallelReduce<int64_t>(
+        pool, 0, 50000, 128, 0,
+        [](int64_t lo, int64_t hi) {
+            int64_t s = 0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += i * i;
+            return s;
+        },
+        [](int64_t a, int64_t b) { return a + b; });
+    int64_t expected = 0;
+    for (int64_t i = 0; i < 50000; ++i)
+        expected += i * i;
+    EXPECT_EQ(value, expected);
+}
+
+TEST(ParallelInvoke, RunsAllBranches)
+{
+    WorkerPool pool(4);
+    std::atomic<int> mask{0};
+    parallelInvoke(
+        pool, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+        [&] { mask.fetch_or(4); }, [&] { mask.fetch_or(8); });
+    EXPECT_EQ(mask.load(), 15);
+}
+
+TEST(ParallelInvoke, RecursiveFibonacci)
+{
+    WorkerPool pool(4);
+    // Classic spawn-and-sync recursion exercising deep nesting.
+    std::function<int64_t(int64_t)> fib = [&](int64_t n) -> int64_t {
+        if (n < 2)
+            return n;
+        int64_t a = 0;
+        int64_t b = 0;
+        parallelInvoke(pool, [&] { a = fib(n - 1); },
+                       [&] { b = fib(n - 2); });
+        return a + b;
+    };
+    EXPECT_EQ(fib(18), 2584);
+}
+
+TEST(WorkerPool, WorkerThreadsStealFromTheMaster)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    // The master floods its own deque and then refuses to help, so the
+    // only way the tasks can complete is via worker-thread steals.
+    for (int i = 0; i < 200; ++i)
+        pool.spawn([&ran] { ran.fetch_add(1); });
+    while (ran.load(std::memory_order_acquire) < 200)
+        std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(CentralQueue, ParallelForMatchesSerial)
+{
+    CentralQueuePool pool(4);
+    std::vector<int64_t> data(20000, 0);
+    pool.parallelFor(0, 20000, 256, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            data[i] = 2 * i;
+    });
+    int64_t sum = std::accumulate(data.begin(), data.end(), int64_t{0});
+    EXPECT_EQ(sum, 2LL * 20000 * 19999 / 2);
+}
+
+TEST(CentralQueue, SpawnAndHelp)
+{
+    CentralQueuePool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 500; ++i)
+        pool.spawn([&ran] { ran.fetch_add(1); });
+    pool.helpUntilIdle();
+    EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(AsyncChunked, CoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(10000);
+    asyncChunkedFor(0, 10000, 4, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Hooks, WorkersSignalWaitingWhenIdle)
+{
+    ActivityMonitor monitor(4);
+    WorkerPool pool(4, &monitor);
+    // With nothing to do, the three worker threads fail steals and
+    // signal waiting; the master only participates during joins, so the
+    // census settles at exactly one active worker (the master).
+    for (int spin = 0; spin < 20000 && monitor.activeWorkers() > 1;
+         ++spin)
+        std::this_thread::yield();
+    EXPECT_EQ(monitor.activeWorkers(), 1);
+}
+
+TEST(Hooks, WorkersReactivateForWork)
+{
+    ActivityMonitor monitor(4);
+    WorkerPool pool(4, &monitor);
+    for (int spin = 0; spin < 20000 && monitor.activeWorkers() > 1;
+         ++spin)
+        std::this_thread::yield();
+    ASSERT_EQ(monitor.activeWorkers(), 1);
+
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 2000; ++i) {
+        group.run([&ran] {
+            // Enough work per task for activity to be observable.
+            volatile int x = 0;
+            for (int j = 0; j < 2000; ++j)
+                x += j;
+            ran.fetch_add(1);
+        });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 2000);
+    // Census must never go negative or exceed the worker count.
+    EXPECT_GE(monitor.activeWorkers(), 0);
+    EXPECT_LE(monitor.activeWorkers(), 4);
+}
+
+TEST(Hooks, TransitionCountsAreBalanced)
+{
+    // A counting hook sees alternating waiting/active per worker; the
+    // number of active signals can lag waiting by at most one per
+    // worker (workers may end in the waiting state).
+    struct Counter : SchedulerHooks
+    {
+        std::atomic<int> waits{0};
+        std::atomic<int> actives{0};
+        void onWorkerActive(int) override { actives.fetch_add(1); }
+        void onWorkerWaiting(int) override { waits.fetch_add(1); }
+    };
+    Counter counter;
+    {
+        WorkerPool pool(3, &counter);
+        for (int round = 0; round < 5; ++round) {
+            TaskGroup group(pool);
+            for (int i = 0; i < 50; ++i)
+                group.run([] {});
+            group.wait();
+            std::this_thread::yield();
+        }
+    }
+    int waits = counter.waits.load();
+    int actives = counter.actives.load();
+    EXPECT_GE(waits, actives);
+    EXPECT_LE(waits - actives, 3);
+}
+
+TEST(Hooks, NullHooksAreSafe)
+{
+    WorkerPool pool(3, nullptr);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+        group.run([&ran] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+} // namespace
+} // namespace aaws

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_table.dir/ablation_adaptive_table.cc.o"
+  "CMakeFiles/ablation_adaptive_table.dir/ablation_adaptive_table.cc.o.d"
+  "ablation_adaptive_table"
+  "ablation_adaptive_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim_biasing.dir/ablation_victim_biasing.cc.o"
+  "CMakeFiles/ablation_victim_biasing.dir/ablation_victim_biasing.cc.o.d"
+  "ablation_victim_biasing"
+  "ablation_victim_biasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_biasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

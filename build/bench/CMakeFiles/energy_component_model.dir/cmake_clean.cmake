@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_component_model.dir/energy_component_model.cc.o"
+  "CMakeFiles/energy_component_model.dir/energy_component_model.cc.o.d"
+  "energy_component_model"
+  "energy_component_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_component_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_activity_profile.dir/fig01_activity_profile.cc.o"
+  "CMakeFiles/fig01_activity_profile.dir/fig01_activity_profile.cc.o.d"
+  "fig01_activity_profile"
+  "fig01_activity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_activity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_pareto_frontier.dir/fig02_pareto_frontier.cc.o"
+  "CMakeFiles/fig02_pareto_frontier.dir/fig02_pareto_frontier.cc.o.d"
+  "fig02_pareto_frontier"
+  "fig02_pareto_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_marginal_utility_hp.dir/fig03_marginal_utility_hp.cc.o"
+  "CMakeFiles/fig03_marginal_utility_hp.dir/fig03_marginal_utility_hp.cc.o.d"
+  "fig03_marginal_utility_hp"
+  "fig03_marginal_utility_hp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_marginal_utility_hp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

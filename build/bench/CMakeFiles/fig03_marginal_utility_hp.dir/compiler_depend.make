@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_marginal_utility_hp.
+# This may be replaced when dependencies are built.

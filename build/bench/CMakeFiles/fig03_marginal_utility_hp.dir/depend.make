@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_marginal_utility_hp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_speedup_surface.dir/fig04_speedup_surface.cc.o"
+  "CMakeFiles/fig04_speedup_surface.dir/fig04_speedup_surface.cc.o.d"
+  "fig04_speedup_surface"
+  "fig04_speedup_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_speedup_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

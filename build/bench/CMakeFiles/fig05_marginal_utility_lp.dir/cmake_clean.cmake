@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_marginal_utility_lp.dir/fig05_marginal_utility_lp.cc.o"
+  "CMakeFiles/fig05_marginal_utility_lp.dir/fig05_marginal_utility_lp.cc.o.d"
+  "fig05_marginal_utility_lp"
+  "fig05_marginal_utility_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_marginal_utility_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_radix2_profiles.dir/fig07_radix2_profiles.cc.o"
+  "CMakeFiles/fig07_radix2_profiles.dir/fig07_radix2_profiles.cc.o.d"
+  "fig07_radix2_profiles"
+  "fig07_radix2_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_radix2_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_radix2_profiles.
+# This may be replaced when dependencies are built.

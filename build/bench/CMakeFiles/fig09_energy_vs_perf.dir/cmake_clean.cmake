@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_energy_vs_perf.dir/fig09_energy_vs_perf.cc.o"
+  "CMakeFiles/fig09_energy_vs_perf.dir/fig09_energy_vs_perf.cc.o.d"
+  "fig09_energy_vs_perf"
+  "fig09_energy_vs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_energy_vs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

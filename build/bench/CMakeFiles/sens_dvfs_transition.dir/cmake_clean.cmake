@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_dvfs_transition.dir/sens_dvfs_transition.cc.o"
+  "CMakeFiles/sens_dvfs_transition.dir/sens_dvfs_transition.cc.o.d"
+  "sens_dvfs_transition"
+  "sens_dvfs_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_dvfs_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sens_dvfs_transition.
+# This may be replaced when dependencies are built.

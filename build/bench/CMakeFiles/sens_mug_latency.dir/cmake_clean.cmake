@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_mug_latency.dir/sens_mug_latency.cc.o"
+  "CMakeFiles/sens_mug_latency.dir/sens_mug_latency.cc.o.d"
+  "sens_mug_latency"
+  "sens_mug_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_mug_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

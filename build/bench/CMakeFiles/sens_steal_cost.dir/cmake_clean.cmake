@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_steal_cost.dir/sens_steal_cost.cc.o"
+  "CMakeFiles/sens_steal_cost.dir/sens_steal_cost.cc.o.d"
+  "sens_steal_cost"
+  "sens_steal_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_steal_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

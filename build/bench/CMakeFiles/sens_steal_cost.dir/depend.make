@@ -1,0 +1,2 @@
+# Empty dependencies file for sens_steal_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_native_runtime.dir/table2_native_runtime.cc.o"
+  "CMakeFiles/table2_native_runtime.dir/table2_native_runtime.cc.o.d"
+  "table2_native_runtime"
+  "table2_native_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_native_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

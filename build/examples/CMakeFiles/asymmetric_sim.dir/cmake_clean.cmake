@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_sim.dir/asymmetric_sim.cpp.o"
+  "CMakeFiles/asymmetric_sim.dir/asymmetric_sim.cpp.o.d"
+  "asymmetric_sim"
+  "asymmetric_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginal_utility_explorer.dir/marginal_utility_explorer.cpp.o"
+  "CMakeFiles/marginal_utility_explorer.dir/marginal_utility_explorer.cpp.o.d"
+  "marginal_utility_explorer"
+  "marginal_utility_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginal_utility_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for marginal_utility_explorer.
+# This may be replaced when dependencies are built.

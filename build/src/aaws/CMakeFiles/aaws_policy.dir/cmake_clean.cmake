@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_policy.dir/adaptive.cc.o"
+  "CMakeFiles/aaws_policy.dir/adaptive.cc.o.d"
+  "CMakeFiles/aaws_policy.dir/experiment.cc.o"
+  "CMakeFiles/aaws_policy.dir/experiment.cc.o.d"
+  "CMakeFiles/aaws_policy.dir/variant.cc.o"
+  "CMakeFiles/aaws_policy.dir/variant.cc.o.d"
+  "libaaws_policy.a"
+  "libaaws_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

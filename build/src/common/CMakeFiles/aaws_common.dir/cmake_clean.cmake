@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_common.dir/logging.cc.o"
+  "CMakeFiles/aaws_common.dir/logging.cc.o.d"
+  "CMakeFiles/aaws_common.dir/stats.cc.o"
+  "CMakeFiles/aaws_common.dir/stats.cc.o.d"
+  "libaaws_common.a"
+  "libaaws_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaaws_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/controller.cc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/controller.cc.o" "gcc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/controller.cc.o.d"
+  "/root/repo/src/dvfs/lookup_table.cc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/lookup_table.cc.o" "gcc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/lookup_table.cc.o.d"
+  "/root/repo/src/dvfs/regulator.cc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/regulator.cc.o" "gcc" "src/dvfs/CMakeFiles/aaws_dvfs.dir/regulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/aaws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aaws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_dvfs.dir/controller.cc.o"
+  "CMakeFiles/aaws_dvfs.dir/controller.cc.o.d"
+  "CMakeFiles/aaws_dvfs.dir/lookup_table.cc.o"
+  "CMakeFiles/aaws_dvfs.dir/lookup_table.cc.o.d"
+  "CMakeFiles/aaws_dvfs.dir/regulator.cc.o"
+  "CMakeFiles/aaws_dvfs.dir/regulator.cc.o.d"
+  "libaaws_dvfs.a"
+  "libaaws_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/accountant.cc" "src/energy/CMakeFiles/aaws_energy.dir/accountant.cc.o" "gcc" "src/energy/CMakeFiles/aaws_energy.dir/accountant.cc.o.d"
+  "/root/repo/src/energy/instr_mix.cc" "src/energy/CMakeFiles/aaws_energy.dir/instr_mix.cc.o" "gcc" "src/energy/CMakeFiles/aaws_energy.dir/instr_mix.cc.o.d"
+  "/root/repo/src/energy/microbench.cc" "src/energy/CMakeFiles/aaws_energy.dir/microbench.cc.o" "gcc" "src/energy/CMakeFiles/aaws_energy.dir/microbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/aaws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aaws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_energy.dir/accountant.cc.o"
+  "CMakeFiles/aaws_energy.dir/accountant.cc.o.d"
+  "CMakeFiles/aaws_energy.dir/instr_mix.cc.o"
+  "CMakeFiles/aaws_energy.dir/instr_mix.cc.o.d"
+  "CMakeFiles/aaws_energy.dir/microbench.cc.o"
+  "CMakeFiles/aaws_energy.dir/microbench.cc.o.d"
+  "libaaws_energy.a"
+  "libaaws_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

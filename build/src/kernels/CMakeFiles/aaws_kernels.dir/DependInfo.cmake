@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/dag_builders.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/dag_builders.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/dag_builders.cc.o.d"
+  "/root/repo/src/kernels/gen_geometry.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_geometry.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_geometry.cc.o.d"
+  "/root/repo/src/kernels/gen_graph.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_graph.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_graph.cc.o.d"
+  "/root/repo/src/kernels/gen_linalg.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_linalg.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_linalg.cc.o.d"
+  "/root/repo/src/kernels/gen_loops.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_loops.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_loops.cc.o.d"
+  "/root/repo/src/kernels/gen_sort.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_sort.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_sort.cc.o.d"
+  "/root/repo/src/kernels/gen_tree.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_tree.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/gen_tree.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/table3.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/table3.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/table3.cc.o.d"
+  "/root/repo/src/kernels/task_dag.cc" "src/kernels/CMakeFiles/aaws_kernels.dir/task_dag.cc.o" "gcc" "src/kernels/CMakeFiles/aaws_kernels.dir/task_dag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aaws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_kernels.dir/dag_builders.cc.o"
+  "CMakeFiles/aaws_kernels.dir/dag_builders.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_geometry.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_geometry.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_graph.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_graph.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_linalg.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_linalg.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_loops.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_loops.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_sort.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_sort.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/gen_tree.cc.o"
+  "CMakeFiles/aaws_kernels.dir/gen_tree.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/registry.cc.o"
+  "CMakeFiles/aaws_kernels.dir/registry.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/table3.cc.o"
+  "CMakeFiles/aaws_kernels.dir/table3.cc.o.d"
+  "CMakeFiles/aaws_kernels.dir/task_dag.cc.o"
+  "CMakeFiles/aaws_kernels.dir/task_dag.cc.o.d"
+  "libaaws_kernels.a"
+  "libaaws_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

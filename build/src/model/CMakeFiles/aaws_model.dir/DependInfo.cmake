@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/first_order.cc" "src/model/CMakeFiles/aaws_model.dir/first_order.cc.o" "gcc" "src/model/CMakeFiles/aaws_model.dir/first_order.cc.o.d"
+  "/root/repo/src/model/optimizer.cc" "src/model/CMakeFiles/aaws_model.dir/optimizer.cc.o" "gcc" "src/model/CMakeFiles/aaws_model.dir/optimizer.cc.o.d"
+  "/root/repo/src/model/pareto.cc" "src/model/CMakeFiles/aaws_model.dir/pareto.cc.o" "gcc" "src/model/CMakeFiles/aaws_model.dir/pareto.cc.o.d"
+  "/root/repo/src/model/surface.cc" "src/model/CMakeFiles/aaws_model.dir/surface.cc.o" "gcc" "src/model/CMakeFiles/aaws_model.dir/surface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aaws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

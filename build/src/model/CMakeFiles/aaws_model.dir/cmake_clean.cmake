@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_model.dir/first_order.cc.o"
+  "CMakeFiles/aaws_model.dir/first_order.cc.o.d"
+  "CMakeFiles/aaws_model.dir/optimizer.cc.o"
+  "CMakeFiles/aaws_model.dir/optimizer.cc.o.d"
+  "CMakeFiles/aaws_model.dir/pareto.cc.o"
+  "CMakeFiles/aaws_model.dir/pareto.cc.o.d"
+  "CMakeFiles/aaws_model.dir/surface.cc.o"
+  "CMakeFiles/aaws_model.dir/surface.cc.o.d"
+  "libaaws_model.a"
+  "libaaws_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_runtime.dir/central_queue.cc.o"
+  "CMakeFiles/aaws_runtime.dir/central_queue.cc.o.d"
+  "CMakeFiles/aaws_runtime.dir/worker_pool.cc.o"
+  "CMakeFiles/aaws_runtime.dir/worker_pool.cc.o.d"
+  "libaaws_runtime.a"
+  "libaaws_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

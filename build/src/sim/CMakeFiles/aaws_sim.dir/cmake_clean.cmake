@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaws_sim.dir/machine.cc.o"
+  "CMakeFiles/aaws_sim.dir/machine.cc.o.d"
+  "CMakeFiles/aaws_sim.dir/region_tracker.cc.o"
+  "CMakeFiles/aaws_sim.dir/region_tracker.cc.o.d"
+  "CMakeFiles/aaws_sim.dir/stats_writer.cc.o"
+  "CMakeFiles/aaws_sim.dir/stats_writer.cc.o.d"
+  "CMakeFiles/aaws_sim.dir/trace.cc.o"
+  "CMakeFiles/aaws_sim.dir/trace.cc.o.d"
+  "libaaws_sim.a"
+  "libaaws_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaws_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

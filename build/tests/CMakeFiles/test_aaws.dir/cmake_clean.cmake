@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aaws.dir/test_aaws.cc.o"
+  "CMakeFiles/test_aaws.dir/test_aaws.cc.o.d"
+  "test_aaws"
+  "test_aaws.pdb"
+  "test_aaws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aaws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

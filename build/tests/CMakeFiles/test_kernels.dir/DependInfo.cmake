@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/test_kernels.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/test_kernels.dir/test_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aaws/CMakeFiles/aaws_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aaws_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/aaws_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/aaws_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/aaws_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aaws_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aaws_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aaws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -19,7 +19,34 @@
 #include <type_traits>
 #include <vector>
 
+/*
+ * ThreadSanitizer does not model standalone std::atomic_thread_fence, so
+ * the Le-et-al. fence + relaxed-store publication of `bottom_` looks like
+ * an unsynchronized publication to it and every thief's first touch of a
+ * stolen task is reported as a race.  Under TSan the bottom_ stores are
+ * upgraded to release (strictly stronger than fence + relaxed, so this
+ * can only mask the fence *optimization*, never a real ordering bug in
+ * the data it publishes).
+ */
+#if defined(__SANITIZE_THREAD__)
+#define AAWS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AAWS_TSAN 1
+#endif
+#endif
+
 namespace aaws {
+
+namespace detail {
+#ifdef AAWS_TSAN
+inline constexpr std::memory_order kBottomPublish =
+    std::memory_order_release;
+#else
+inline constexpr std::memory_order kBottomPublish =
+    std::memory_order_relaxed;
+#endif
+} // namespace detail
 
 /**
  * Work-stealing deque of trivially copyable elements (task pointers).
@@ -56,7 +83,7 @@ class ChaseLevDeque
             buf = grow(buf, t, b);
         buf->put(b, value);
         std::atomic_thread_fence(std::memory_order_release);
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, detail::kBottomPublish);
     }
 
     /**
@@ -68,12 +95,12 @@ class ChaseLevDeque
     {
         int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
         Buffer *buf = buffer_.load(std::memory_order_relaxed);
-        bottom_.store(b, std::memory_order_relaxed);
+        bottom_.store(b, detail::kBottomPublish);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         int64_t t = top_.load(std::memory_order_relaxed);
         if (t > b) {
             // Deque was empty: restore.
-            bottom_.store(b + 1, std::memory_order_relaxed);
+            bottom_.store(b + 1, detail::kBottomPublish);
             return false;
         }
         out = buf->get(b);
@@ -82,10 +109,10 @@ class ChaseLevDeque
             if (!top_.compare_exchange_strong(
                     t, t + 1, std::memory_order_seq_cst,
                     std::memory_order_relaxed)) {
-                bottom_.store(b + 1, std::memory_order_relaxed);
+                bottom_.store(b + 1, detail::kBottomPublish);
                 return false;
             }
-            bottom_.store(b + 1, std::memory_order_relaxed);
+            bottom_.store(b + 1, detail::kBottomPublish);
         }
         return true;
     }
@@ -115,16 +142,28 @@ class ChaseLevDeque
     }
 
     /**
-     * Approximate occupancy for occupancy-based victim selection.  May
-     * be momentarily stale; never negative.
+     * Approximate occupancy from relaxed reads of top/bottom.
+     *
+     * The two indices are read independently, so concurrent pushes, pops,
+     * and steals can make the result momentarily stale in either
+     * direction; it is never negative.  From the *owner* thread with no
+     * concurrent thieves the value is exact, which is what conservation
+     * assertions in tests rely on.  Never use it to decide whether a
+     * subsequent pop()/steal() will succeed.
      */
     int64_t
-    sizeEstimate() const
+    size() const
     {
         int64_t b = bottom_.load(std::memory_order_relaxed);
         int64_t t = top_.load(std::memory_order_relaxed);
         return b > t ? b - t : 0;
     }
+
+    /** True when size() observes no elements (same relaxed semantics). */
+    bool empty() const { return size() == 0; }
+
+    /** Occupancy-based victim selection alias for size(). */
+    int64_t sizeEstimate() const { return size(); }
 
   private:
     struct Buffer

@@ -37,6 +37,22 @@ class SchedulerHooks
      * trigger for toggling the activity bit to waiting).
      */
     virtual void onWorkerWaiting(int worker) { (void)worker; }
+
+    /**
+     * Worker `thief` is about to attempt a steal from `victim`'s deque
+     * (after victim selection, before touching the victim's top index).
+     * High-frequency instrumentation point; also what the stress suite's
+     * schedule shaker uses to perturb thread interleavings.
+     */
+    virtual void
+    onStealAttempt(int thief, int victim)
+    {
+        (void)thief;
+        (void)victim;
+    }
+
+    /** Worker is about to push a spawned task onto its own deque. */
+    virtual void onSpawn(int worker) { (void)worker; }
 };
 
 /**

@@ -64,6 +64,8 @@ WorkerPool::spawnTask(RtTask *task)
     // funnels all submission through pool-owned threads, so in practice
     // this path is the initial root-task submission.
     AAWS_ASSERT(w >= 0, "spawn from a thread outside the pool");
+    if (hooks_)
+        hooks_->onSpawn(w);
     deques_[w]->push(task);
     wakeOne();
 }
@@ -89,10 +91,14 @@ WorkerPool::tryTakeTask()
             victim = i;
         }
     }
-    if (victim >= 0 && deques_[victim]->steal(task)) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
-        noteFound(self);
-        return task;
+    if (victim >= 0) {
+        if (hooks_)
+            hooks_->onStealAttempt(self, victim);
+        if (deques_[victim]->steal(task)) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            noteFound(self);
+            return task;
+        }
     }
     noteFailed(self);
     return nullptr;

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-exact SimResult comparison for the determinism fuzzer.  Every
+ * double is compared through its bit pattern: "close" is not good
+ * enough, because the simulator promises bit-identical replay and any
+ * drift means hidden nondeterminism (iteration-order dependence, an
+ * uninitialized read, time-dependent state) that would poison the
+ * golden-file regressions and the adaptive controller's replays.
+ */
+
+#ifndef AAWS_TESTS_STRESS_SIM_COMPARE_H
+#define AAWS_TESTS_STRESS_SIM_COMPARE_H
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/result.h"
+
+namespace aaws {
+namespace stress {
+
+inline void
+expectBitEqual(double a, double b, const char *what)
+{
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+        << what << ": " << a << " vs " << b;
+}
+
+/** Assert two runs produced bit-identical statistics. */
+inline void
+expectIdenticalResults(const SimResult &a, const SimResult &b)
+{
+    expectBitEqual(a.exec_seconds, b.exec_seconds, "exec_seconds");
+    expectBitEqual(a.energy, b.energy, "energy");
+    expectBitEqual(a.waiting_energy, b.waiting_energy, "waiting_energy");
+    expectBitEqual(a.avg_power, b.avg_power, "avg_power");
+
+    expectBitEqual(a.regions.serial, b.regions.serial, "regions.serial");
+    expectBitEqual(a.regions.hp, b.regions.hp, "regions.hp");
+    expectBitEqual(a.regions.lp_bi_lt_la, b.regions.lp_bi_lt_la,
+                   "regions.lp_bi_lt_la");
+    expectBitEqual(a.regions.lp_bi_ge_la, b.regions.lp_bi_ge_la,
+                   "regions.lp_bi_ge_la");
+    expectBitEqual(a.regions.lp_other, b.regions.lp_other,
+                   "regions.lp_other");
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.failed_steals, b.failed_steals);
+    EXPECT_EQ(a.mugs, b.mugs);
+    EXPECT_EQ(a.aborted_mugs, b.aborted_mugs);
+    EXPECT_EQ(a.transitions, b.transitions);
+    EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+
+    ASSERT_EQ(a.core_stats.size(), b.core_stats.size());
+    for (size_t c = 0; c < a.core_stats.size(); ++c) {
+        SCOPED_TRACE(testing::Message() << "core " << c);
+        expectBitEqual(a.core_stats[c].busy_seconds,
+                       b.core_stats[c].busy_seconds, "busy_seconds");
+        expectBitEqual(a.core_stats[c].waiting_seconds,
+                       b.core_stats[c].waiting_seconds,
+                       "waiting_seconds");
+        expectBitEqual(a.core_stats[c].energy, b.core_stats[c].energy,
+                       "core energy");
+        EXPECT_EQ(a.core_stats[c].instructions,
+                  b.core_stats[c].instructions);
+    }
+
+    ASSERT_EQ(a.occupancy_seconds.size(), b.occupancy_seconds.size());
+    for (size_t i = 0; i < a.occupancy_seconds.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "occupancy slot " << i);
+        expectBitEqual(a.occupancy_seconds[i], b.occupancy_seconds[i],
+                       "occupancy_seconds");
+    }
+
+    // Activity traces, when collected, must replay record-for-record.
+    ASSERT_EQ(a.trace.records().size(), b.trace.records().size());
+    for (size_t i = 0; i < a.trace.records().size(); ++i) {
+        const TraceRecord &ra = a.trace.records()[i];
+        const TraceRecord &rb = b.trace.records()[i];
+        SCOPED_TRACE(testing::Message() << "trace record " << i);
+        EXPECT_EQ(ra.tick, rb.tick);
+        EXPECT_EQ(ra.core, rb.core);
+        EXPECT_EQ(ra.state, rb.state);
+        expectBitEqual(ra.voltage, rb.voltage, "trace voltage");
+    }
+}
+
+} // namespace stress
+} // namespace aaws
+
+#endif // AAWS_TESTS_STRESS_SIM_COMPARE_H

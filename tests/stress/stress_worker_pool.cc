@@ -1,0 +1,179 @@
+/**
+ * @file
+ * WorkerPool churn stress: pools constructed and destroyed in a loop
+ * with work in flight, spawn storms that force worker-thread steals,
+ * deep nested joins, and activity-census consistency under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/parallel_for.h"
+#include "runtime/parallel_invoke.h"
+#include "runtime/task_group.h"
+#include "runtime/worker_pool.h"
+#include "stress_util.h"
+
+namespace aaws {
+namespace {
+
+using stress::envKnob;
+
+TEST(WorkerPoolStress, SpawnQuiesceChurn)
+{
+    // Construct, flood, join, and destroy pools of rotating sizes; every
+    // round must run every task exactly once and shut down cleanly.
+    const int64_t rounds = envKnob("AAWS_STRESS_CHURN", 150, 25);
+    const int tasks_per_round = 200;
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        int threads = 1 + static_cast<int>(round % 5);
+        WorkerPool pool(threads);
+        std::atomic<int> ran{0};
+        {
+            TaskGroup group(pool);
+            for (int i = 0; i < tasks_per_round; ++i)
+                group.run([&ran] { ran.fetch_add(1); });
+        }
+        ASSERT_EQ(ran.load(), tasks_per_round);
+    }
+}
+
+TEST(WorkerPoolStress, DestructionWithUnexecutedTasks)
+{
+    // Flood the master's deque and destroy the pool while most tasks are
+    // still queued: the destructor must drain (and free) whatever the
+    // workers did not get to.  LeakSanitizer (asan preset) verifies the
+    // closures are actually freed.
+    const int64_t rounds = envKnob("AAWS_STRESS_CHURN", 150, 25);
+    for (int64_t round = 0; round < rounds; ++round) {
+        std::atomic<int> ran{0};
+        {
+            WorkerPool pool(3);
+            for (int i = 0; i < 500; ++i)
+                pool.spawn([&ran] { ran.fetch_add(1); });
+        }
+        // Whatever ran, ran exactly once; the rest was reclaimed.
+        ASSERT_LE(ran.load(), 500);
+    }
+}
+
+TEST(WorkerPoolStress, NestedGroupsUnderContention)
+{
+    // Nested fork/join three levels deep from every worker at once:
+    // exercises the blocking-join path (waiters execute stolen work)
+    // under real contention.
+    const int64_t rounds = envKnob("AAWS_STRESS_ROUNDS", 30, 6);
+    WorkerPool pool(4);
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        std::atomic<int> leaves{0};
+        TaskGroup outer(pool);
+        for (int i = 0; i < 8; ++i) {
+            outer.run([&pool, &leaves] {
+                TaskGroup mid(pool);
+                for (int j = 0; j < 8; ++j) {
+                    mid.run([&pool, &leaves] {
+                        TaskGroup inner(pool);
+                        for (int k = 0; k < 8; ++k)
+                            inner.run([&leaves] { leaves.fetch_add(1); });
+                    });
+                }
+            });
+        }
+        outer.wait();
+        ASSERT_EQ(leaves.load(), 8 * 8 * 8);
+    }
+}
+
+TEST(WorkerPoolStress, ParallelAlgorithmsUnderChurn)
+{
+    // parallel_for / reduce / invoke against a fresh pool per round, so
+    // worker spin-up and deep-sleep wakeups interleave with real work.
+    const int64_t rounds = envKnob("AAWS_STRESS_CHURN", 40, 8);
+    const int64_t n = 40'000;
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        WorkerPool pool(2 + static_cast<int>(round % 3));
+        std::atomic<int64_t> sum{0};
+        parallelFor(pool, 0, n, 256, [&](int64_t lo, int64_t hi) {
+            int64_t s = 0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += i;
+            sum.fetch_add(s, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(sum.load(), n * (n - 1) / 2);
+
+        int64_t reduced = parallelReduce<int64_t>(
+            pool, 0, n, 512, 0,
+            [](int64_t lo, int64_t hi) {
+                int64_t s = 0;
+                for (int64_t i = lo; i < hi; ++i)
+                    s += 2 * i;
+                return s;
+            },
+            [](int64_t a, int64_t b) { return a + b; });
+        ASSERT_EQ(reduced, n * (n - 1));
+    }
+}
+
+TEST(WorkerPoolStress, ActivityCensusStaysInBounds)
+{
+    // Hammer the hint machinery: repeated storms followed by quiescence.
+    // The census must stay within [0, workers] at every observation and
+    // settle to exactly one active worker (the idle master) after work
+    // dries up.
+    const int64_t rounds = envKnob("AAWS_STRESS_ROUNDS", 40, 8);
+    const int workers = 4;
+    ActivityMonitor monitor(workers);
+    WorkerPool pool(workers, &monitor);
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        std::atomic<int> ran{0};
+        TaskGroup group(pool);
+        for (int i = 0; i < 300; ++i) {
+            group.run([&] {
+                volatile int x = 0;
+                for (int j = 0; j < 500; ++j)
+                    x = x + j;
+                ran.fetch_add(1);
+            });
+        }
+        group.wait();
+        ASSERT_EQ(ran.load(), 300);
+        int census = monitor.activeWorkers();
+        ASSERT_GE(census, 0);
+        ASSERT_LE(census, workers);
+    }
+    for (int spin = 0; spin < 200'000 && monitor.activeWorkers() > 1;
+         ++spin)
+        std::this_thread::yield();
+    EXPECT_EQ(monitor.activeWorkers(), 1);
+}
+
+TEST(WorkerPoolStress, RecursiveInvokeStorm)
+{
+    // Deep spawn-and-sync recursion (the classic work-stealing torture
+    // test) repeated across pool lifetimes.
+    const int64_t rounds = envKnob("AAWS_STRESS_CHURN", 10, 3);
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message() << "round " << round);
+        WorkerPool pool(4);
+        std::function<int64_t(int64_t)> fib = [&](int64_t n) -> int64_t {
+            if (n < 2)
+                return n;
+            int64_t a = 0;
+            int64_t b = 0;
+            parallelInvoke(pool, [&] { a = fib(n - 1); },
+                           [&] { b = fib(n - 2); });
+            return a + b;
+        };
+        ASSERT_EQ(fib(17), 1597);
+    }
+}
+
+} // namespace
+} // namespace aaws

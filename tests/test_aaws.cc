@@ -208,6 +208,106 @@ TEST(MachineConfig, TableOverrideIsUsed)
     EXPECT_GT(flat_run.exec_seconds, tuned_run.exec_seconds);
 }
 
+namespace {
+
+/** Fan-out DAG: @p n children of @p instrs each, then a serial phase. */
+TaskDag
+fanOutDag(int n, uint64_t instrs, uint64_t serial_instrs)
+{
+    TaskDag dag;
+    uint32_t root = dag.addTask();
+    for (int i = 0; i < n; ++i) {
+        uint32_t child = dag.addTask();
+        dag.addWork(child, instrs);
+        dag.addSpawn(root, child);
+    }
+    dag.addSync(root);
+    dag.addPhase(serial_instrs, static_cast<int32_t>(root));
+    dag.validate();
+    return dag;
+}
+
+/** Six bulk-synchronous phases of twelve unequal tasks each, so the
+ *  lp_bi_ge_la region (bigs idle, littles loaded) reopens at every
+ *  phase tail and mugging has to fire again and again. */
+TaskDag
+phasedDag()
+{
+    TaskDag dag;
+    for (int p = 0; p < 6; ++p) {
+        uint32_t root = dag.addTask();
+        for (int i = 0; i < 12; ++i) {
+            uint32_t child = dag.addTask();
+            dag.addWork(child, 800'000 + 100'000 * i);
+            dag.addSpawn(root, child);
+        }
+        dag.addSync(root);
+        dag.addPhase(200'000, static_cast<int32_t>(root));
+    }
+    dag.validate();
+    return dag;
+}
+
+SimResult
+runDag(const TaskDag &dag, Variant variant)
+{
+    MachineConfig config;
+    applyVariant(config, variant);
+    return Machine(config, dag).run();
+}
+
+} // namespace
+
+TEST(WorkMugging, MugRacingTaskCompletionIsAborted)
+{
+    // Many small tasks keep the littles flickering between running and
+    // stealing, so a mug interrupt eventually lands after its muggee
+    // already finished the task it was picked for: onMugIssueDone must
+    // then abort instead of swapping, and no task may be lost or run
+    // twice because of the aborted handshake.
+    TaskDag dag = fanOutDag(96, 5'000, 50'000);
+    SimResult result = runDag(dag, Variant::base_psm);
+    EXPECT_GE(result.aborted_mugs, 1u);
+    EXPECT_EQ(result.tasks_executed, 97u);
+    EXPECT_GE(result.instructions, dag.totalWork());
+}
+
+TEST(WorkMugging, EmptyLittleCoreIsNeverMugged)
+{
+    // Exactly n_big long tasks: the big cores absorb all of them and the
+    // littles never hold work.  pickMuggee only considers *running*
+    // little cores, so no mug may ever be issued (and certainly none
+    // aborted) against the idle littles.
+    TaskDag dag = fanOutDag(4, 3'000'000, 50'000);
+    for (Variant variant : {Variant::base_psm, Variant::base_m}) {
+        SCOPED_TRACE(variantName(variant));
+        SimResult result = runDag(dag, variant);
+        EXPECT_EQ(result.mugs, 0u);
+        EXPECT_EQ(result.aborted_mugs, 0u);
+        EXPECT_EQ(result.tasks_executed, 5u);
+    }
+}
+
+TEST(WorkMugging, RepeatedMugCyclesAcrossPhases)
+{
+    // Every phase tail strands long tasks on the littles while the bigs
+    // drain first, so the runtime must mug, finish the phase, fall back
+    // to normal stealing, and then mug again in the next phase.
+    TaskDag dag = phasedDag();
+    SimResult mugged = runDag(dag, Variant::base_psm);
+    EXPECT_GE(mugged.mugs, 6u); // at least one mug per phase
+    EXPECT_EQ(mugged.aborted_mugs, 0u);
+    EXPECT_EQ(mugged.tasks_executed, 78u);
+    EXPECT_GE(mugged.instructions, dag.totalWork());
+
+    // Control: with mugging disabled the same DAG must report zero mugs
+    // and still execute every task.
+    SimResult unmugged = runDag(dag, Variant::base_ps);
+    EXPECT_EQ(unmugged.mugs, 0u);
+    EXPECT_EQ(unmugged.aborted_mugs, 0u);
+    EXPECT_EQ(unmugged.tasks_executed, 78u);
+}
+
 TEST(CoreStatsCheck, BusyPlusWaitingCoversRun)
 {
     Kernel kernel = makeKernel("mis");

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "energy/accountant.h"
 #include "model/first_order.h"
 #include "model/optimizer.h"
 #include <cmath>
@@ -109,6 +110,155 @@ TEST(FirstOrder, PowerTargetIsEq6)
     double expected = 4 * model.nominalPower(CoreType::big) +
                       4 * model.nominalPower(CoreType::little);
     EXPECT_DOUBLE_EQ(model.powerTarget(4, 4), expected);
+}
+
+// --- Eq. 4 property tests --------------------------------------------------
+
+TEST(Eq4Power, MatchesClosedFormDecomposition)
+{
+    // Eq. 4 verbatim: P(V) = alpha_T * IPC_T * f(V) * V^2  +  V * I_leak.
+    FirstOrderModel model;
+    const ModelParams &p = model.params();
+    for (CoreType type : {CoreType::big, CoreType::little}) {
+        for (double v = p.v_min; v <= p.v_max + 1e-9; v += 0.05) {
+            double dynamic =
+                p.energyCoeff(type) * p.ipc(type) * model.freq(v) * v * v;
+            double leak = v * model.leakCurrent(type);
+            EXPECT_NEAR(model.activePower(type, v), dynamic + leak,
+                        1e-12 * (dynamic + leak))
+                << coreTypeName(type) << " at " << v << " V";
+        }
+    }
+}
+
+TEST(Eq4Power, StrictlyMonotoneInVoltage)
+{
+    // Over the feasible DVFS range both Eq. 4 power forms and the Eq. 2
+    // throughput are strictly increasing in V: higher supply always buys
+    // speed and always costs power, on both core types.
+    FirstOrderModel model;
+    const ModelParams &p = model.params();
+    const int steps = 200;
+    double dv = (p.v_max - p.v_min) / steps;
+    for (CoreType type : {CoreType::big, CoreType::little}) {
+        for (int i = 0; i < steps; ++i) {
+            double v = p.v_min + i * dv;
+            double next = v + dv;
+            EXPECT_LT(model.activePower(type, v),
+                      model.activePower(type, next))
+                << coreTypeName(type) << " activePower at " << v;
+            EXPECT_LT(model.waitingPower(type, v),
+                      model.waitingPower(type, next))
+                << coreTypeName(type) << " waitingPower at " << v;
+            EXPECT_LT(model.ips(type, v), model.ips(type, next))
+                << coreTypeName(type) << " ips at " << v;
+        }
+    }
+}
+
+TEST(Eq4Power, BigPowerIsHomogeneousInAlpha)
+{
+    // Both big-core terms of Eq. 4 scale with alpha: the dynamic
+    // coefficient directly, and the leakage current through the
+    // lambda-fraction calibration against total nominal power.  Big-core
+    // power is therefore exactly linear (degree-1 homogeneous) in alpha,
+    // while throughput and the little core never see alpha at all.
+    ModelParams base;
+    FirstOrderModel reference(base);
+    for (double scale : {0.5, 2.0, 3.3}) {
+        ModelParams scaled_params = base;
+        scaled_params.alpha = base.alpha * scale;
+        FirstOrderModel scaled(scaled_params);
+        for (double v : {0.7, 0.85, 1.0, 1.15, 1.3}) {
+            double want =
+                scale * reference.activePower(CoreType::big, v);
+            EXPECT_NEAR(scaled.activePower(CoreType::big, v), want,
+                        1e-12 * want)
+                << "alpha x" << scale << " at " << v << " V";
+            EXPECT_NEAR(scaled.waitingPower(CoreType::big, v),
+                        scale * reference.waitingPower(CoreType::big, v),
+                        1e-12 * want);
+            // alpha is an energy parameter: it must not change speed.
+            EXPECT_DOUBLE_EQ(scaled.ips(CoreType::big, v),
+                             reference.ips(CoreType::big, v));
+            // The little core's *dynamic* power never sees alpha; its
+            // leakage current is gamma-coupled to the big core's, so it
+            // scales along with alpha.
+            double little_dyn =
+                reference.activePower(CoreType::little, v) -
+                v * reference.leakCurrent(CoreType::little);
+            double little_want =
+                little_dyn +
+                scale * v * reference.leakCurrent(CoreType::little);
+            EXPECT_NEAR(scaled.activePower(CoreType::little, v),
+                        little_want, 1e-12 * little_want);
+            EXPECT_DOUBLE_EQ(scaled.ips(CoreType::little, v),
+                             reference.ips(CoreType::little, v));
+        }
+    }
+}
+
+TEST(Eq4Power, AccountantAgreesOnConstantPowerTrace)
+{
+    // A core held in one state at one voltage for T seconds must be
+    // charged exactly P * T: the accountant is a timeline integrator
+    // over Eq. 4, with no hidden discretization.
+    FirstOrderModel model;
+    for (CoreType type : {CoreType::big, CoreType::little}) {
+        for (double v : {0.7, 1.0, 1.3}) {
+            EnergyAccountant acc(model, {type});
+            acc.setState(0, 0.0, PowerState::active, v);
+            acc.finish(2.5);
+            double want = model.activePower(type, v) * 2.5;
+            EXPECT_NEAR(acc.totalEnergy(), want, 1e-12 * want)
+                << coreTypeName(type) << " at " << v << " V";
+            EXPECT_DOUBLE_EQ(acc.waitingEnergy(), 0.0);
+            EXPECT_NEAR(acc.averagePower(),
+                        model.activePower(type, v),
+                        1e-12 * model.activePower(type, v));
+        }
+    }
+}
+
+TEST(Eq4Power, AccountantAgreesOnPiecewiseConstantTrace)
+{
+    // Multi-segment timeline: active at V_N, waiting at v_min, then off.
+    // Each segment charges at the setting that was in force when it
+    // started, and the splits land in the right buckets.
+    FirstOrderModel model;
+    const ModelParams &p = model.params();
+    EnergyAccountant acc(model,
+                         {CoreType::big, CoreType::little});
+
+    acc.setState(0, 0.0, PowerState::active, p.v_nom);
+    acc.setState(0, 1.0, PowerState::waiting, p.v_min);
+    acc.setState(0, 1.75, PowerState::off, p.v_min);
+
+    acc.setState(1, 0.0, PowerState::waiting, p.v_min);
+    acc.setState(1, 0.5, PowerState::active, p.v_max);
+    acc.finish(2.0);
+
+    double big_active = model.activePower(CoreType::big, p.v_nom) * 1.0;
+    double big_waiting =
+        model.waitingPower(CoreType::big, p.v_min) * 0.75;
+    double little_waiting =
+        model.waitingPower(CoreType::little, p.v_min) * 0.5;
+    double little_active =
+        model.activePower(CoreType::little, p.v_max) * 1.5;
+
+    const CoreEnergy &big = acc.coreEnergy(0);
+    EXPECT_NEAR(big.active, big_active, 1e-12 * big_active);
+    EXPECT_NEAR(big.waiting, big_waiting, 1e-12 * big_waiting);
+    const CoreEnergy &little = acc.coreEnergy(1);
+    EXPECT_NEAR(little.active, little_active, 1e-12 * little_active);
+    EXPECT_NEAR(little.waiting, little_waiting, 1e-12 * little_waiting);
+
+    double total =
+        big_active + big_waiting + little_active + little_waiting;
+    EXPECT_NEAR(acc.totalEnergy(), total, 1e-12 * total);
+    EXPECT_NEAR(acc.waitingEnergy(), big_waiting + little_waiting,
+                1e-12 * (big_waiting + little_waiting));
+    EXPECT_NEAR(acc.averagePower(), total / 2.0, 1e-12 * total);
 }
 
 class OptimizerFixture : public ::testing::Test

@@ -92,6 +92,75 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(int(std::get<1>(info.param) * 10));
     });
 
+// --- Eq. 4 properties over the (alpha, beta) plane -----------------------
+
+class Eq4Sweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(Eq4Sweep, PowerAndThroughputMonotoneInVoltage)
+{
+    auto [alpha, beta] = GetParam();
+    ModelParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    FirstOrderModel model(params);
+    const int steps = 60;
+    double dv = (params.v_max - params.v_min) / steps;
+    for (CoreType type : {CoreType::big, CoreType::little}) {
+        for (int i = 0; i < steps; ++i) {
+            double v = params.v_min + i * dv;
+            EXPECT_LT(model.activePower(type, v),
+                      model.activePower(type, v + dv));
+            EXPECT_LT(model.waitingPower(type, v),
+                      model.waitingPower(type, v + dv));
+            EXPECT_LT(model.ips(type, v), model.ips(type, v + dv));
+        }
+    }
+}
+
+TEST_P(Eq4Sweep, BigPowerScalesLinearlyWithAlpha)
+{
+    // Doubling alpha doubles big-core Eq. 4 power at every voltage (the
+    // leakage calibration keeps lambda a *fraction*, so leakage scales
+    // along with the dynamic term) and leaves throughput untouched.
+    auto [alpha, beta] = GetParam();
+    ModelParams params;
+    params.alpha = alpha;
+    params.beta = beta;
+    FirstOrderModel one(params);
+    ModelParams doubled_params = params;
+    doubled_params.alpha = 2.0 * alpha;
+    FirstOrderModel two(doubled_params);
+    for (double v : {0.7, 1.0, 1.3}) {
+        double want = 2.0 * one.activePower(CoreType::big, v);
+        EXPECT_NEAR(two.activePower(CoreType::big, v), want,
+                    1e-12 * want);
+        EXPECT_DOUBLE_EQ(two.ips(CoreType::big, v),
+                         one.ips(CoreType::big, v));
+        // Little dynamic power ignores alpha; little leakage doubles
+        // with it through the gamma coupling to big-core leakage.
+        double little_dyn = one.activePower(CoreType::little, v) -
+                            v * one.leakCurrent(CoreType::little);
+        double little_want =
+            little_dyn + 2.0 * v * one.leakCurrent(CoreType::little);
+        EXPECT_NEAR(two.activePower(CoreType::little, v), little_want,
+                    1e-12 * little_want);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBeta, Eq4Sweep,
+    ::testing::Combine(::testing::Values(1.5, 2.0, 3.0, 4.5),
+                       ::testing::Values(1.2, 2.0, 3.0)),
+    [](const auto &info) {
+        return "a" +
+               std::to_string(int(std::get<0>(info.param) * 10)) +
+               "_b" +
+               std::to_string(int(std::get<1>(info.param) * 10));
+    });
+
 // --- machine-shape properties --------------------------------------------
 
 class ShapeSweep

@@ -5,41 +5,60 @@
  * conclusions hold for larger systems; this bench sweeps the core count
  * at a fixed 1:1 big/little ratio and reports base+psm speedup and
  * energy-efficiency gain per shape.
+ *
+ * Driven by the experiment engine: the shape sweep is expressed as
+ * n_big/n_little spec overrides, so each (shape, kernel, variant)
+ * simulation is an independently cached parallel task.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const int shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {6, 6}, {8, 8}};
+    const char *all_names[] = {"radix-2", "qsort-1", "cilksort", "dict",
+                               "uts"};
+    std::vector<std::string> names;
+    for (const char *name : all_names)
+        if (cli.matches(name))
+            names.push_back(name);
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &shape : shapes) {
+        for (const auto &name : names) {
+            for (Variant v : {Variant::base, Variant::base_psm}) {
+                exp::RunSpec spec{name, SystemShape::s4B4L, v};
+                spec.overrides.n_big = shape[0];
+                spec.overrides.n_little = shape[1];
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Extension: AAWS benefit vs machine size "
                 "(base+psm vs base) ===\n\n");
-    const int shapes[][2] = {{1, 1}, {2, 2}, {4, 4}, {6, 6}, {8, 8}};
     std::printf("%-7s", "shape");
-    const char *names[] = {"radix-2", "qsort-1", "cilksort", "dict",
-                           "uts"};
-    for (const char *name : names)
-        std::printf(" %14s", name);
+    for (const auto &name : names)
+        std::printf(" %14s", name.c_str());
     std::printf("\n");
+    size_t idx = 0;
     for (const auto &shape : shapes) {
         std::printf("%dB%dL   ", shape[0], shape[1]);
-        for (const char *name : names) {
-            Kernel kernel = makeKernel(name);
-            MachineConfig base = configFor(kernel, SystemShape::s4B4L,
-                                           Variant::base);
-            base.n_big = shape[0];
-            base.n_little = shape[1];
-            MachineConfig aaws_cfg = configFor(
-                kernel, SystemShape::s4B4L, Variant::base_psm);
-            aaws_cfg.n_big = shape[0];
-            aaws_cfg.n_little = shape[1];
-            SimResult b = Machine(base, kernel.dag).run();
-            SimResult a = Machine(aaws_cfg, kernel.dag).run();
+        for (size_t k = 0; k < names.size(); ++k) {
+            const SimResult &b = results[idx++].sim;
+            const SimResult &a = results[idx++].sim;
             double speedup = b.exec_seconds / a.exec_seconds;
             double eff = (b.energy / a.energy) * speedup /
                          (b.exec_seconds / a.exec_seconds);

@@ -5,6 +5,11 @@
  * incrementally enabled (base, +p, +ps, +psm, and mugging-only +m).
  * Each bar is broken into serial / HP / BI<LA / BI>=LA / oLP time, all
  * normalized to that kernel's baseline.
+ *
+ * Driven by the experiment engine: all (shape x kernel x variant)
+ * simulations fan out on the native runtime and hit the result cache
+ * on re-runs.  Shares the engine CLI (--jobs, --filter, --no-cache,
+ * ...; see src/exp/cli.h).
  */
 
 #include <cstdio>
@@ -12,24 +17,38 @@
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
-    for (SystemShape shape : {SystemShape::s1B7L, SystemShape::s4B4L}) {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+    const SystemShape shapes[] = {SystemShape::s1B7L, SystemShape::s4B4L};
+
+    std::vector<exp::RunSpec> specs;
+    for (SystemShape shape : shapes)
+        for (const auto &name : names)
+            for (Variant v : allVariants())
+                specs.push_back({name, shape, v});
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
+    size_t idx = 0;
+    for (SystemShape shape : shapes) {
         std::printf("=== Figure 8 (%s): normalized execution time "
                     "breakdown ===\n", systemName(shape));
         std::printf("%-9s %-9s %8s %8s %8s %8s %8s %8s %9s\n", "kernel",
                     "variant", "serial", "hp", "BI<LA", "BI>=LA", "oLP",
                     "total", "speedup");
         std::vector<double> psm_speedups;
-        for (const auto &name : kernelNames()) {
-            Kernel kernel = makeKernel(name);
+        for (const auto &name : names) {
             double base_seconds = 0.0;
             for (Variant v : allVariants()) {
-                SimResult r = runKernel(kernel, shape, v).sim;
+                const SimResult &r = results[idx++].sim;
                 if (v == Variant::base)
                     base_seconds = r.exec_seconds;
                 double n = base_seconds;

@@ -4,6 +4,9 @@
  * kernel under each AAWS technique subset, normalized to that kernel on
  * the baseline 4B4L system.  Points above perf=eff (the isopower
  * diagonal) draw less power than the baseline.
+ *
+ * Driven by the experiment engine (parallel fan-out + result cache);
+ * the base runs are shared cache entries with fig08 and table3.
  */
 
 #include <cstdio>
@@ -11,23 +14,37 @@
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+    const Variant techniques[] = {Variant::base_p, Variant::base_ps,
+                                  Variant::base_psm, Variant::base_m};
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, SystemShape::s4B4L, Variant::base});
+        for (Variant v : techniques)
+            specs.push_back({name, SystemShape::s4B4L, v});
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Figure 9: energy efficiency vs performance, 4B4L "
                 "===\n");
     std::printf("kernel,variant,perf,efficiency,power\n");
     std::vector<double> psm_eff;
-    for (const auto &name : kernelNames()) {
-        Kernel kernel = makeKernel(name);
-        RunResult base = runKernel(kernel, SystemShape::s4B4L,
-                                   Variant::base);
-        for (Variant v : {Variant::base_p, Variant::base_ps,
-                          Variant::base_psm, Variant::base_m}) {
-            RunResult r = runKernel(kernel, SystemShape::s4B4L, v);
+    size_t idx = 0;
+    for (const auto &name : names) {
+        const RunResult &base = results[idx++];
+        for (Variant v : techniques) {
+            const RunResult &r = results[idx++];
             double perf = base.sim.exec_seconds / r.sim.exec_seconds;
             double eff = r.efficiency() / base.efficiency();
             double power = r.sim.avg_power / base.sim.avg_power;

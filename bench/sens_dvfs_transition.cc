@@ -4,45 +4,61 @@
  * cost from 40 ns to 250 ns per 0.15 V step.  The paper reports < 2%
  * overall performance impact because transitions are rare (~0.2 per
  * 10 us on average).
+ *
+ * Driven by the experiment engine with regulator_ns_per_step spec
+ * overrides (parallel + cached).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+    const double steps[] = {40.0, 100.0, 175.0, 250.0};
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &name : names) {
+        for (double ns : steps) {
+            exp::RunSpec spec{name, SystemShape::s4B4L,
+                              Variant::base_psm};
+            spec.overrides.regulator_ns_per_step = ns;
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Sensitivity: DVFS transition latency (base+psm, "
                 "4B4L) ===\n\n");
     std::printf("%-9s", "kernel");
-    const double steps[] = {40.0, 100.0, 175.0, 250.0};
     for (double ns : steps)
         std::printf(" %7.0fns", ns);
     std::printf("   trans/10us\n");
 
     std::vector<double> worst;
-    for (const auto &name : kernelNames()) {
-        Kernel kernel = makeKernel(name);
+    size_t idx = 0;
+    for (const auto &name : names) {
         std::printf("%-9s", name.c_str());
-        double base_seconds = 0.0;
-        double transitions_per_10us = 0.0;
-        for (double ns : steps) {
-            MachineConfig config = configFor(kernel, SystemShape::s4B4L,
-                                             Variant::base_psm);
-            config.regulator_ns_per_step = ns;
-            SimResult r = Machine(config, kernel.dag).run();
-            if (ns == steps[0]) {
-                base_seconds = r.exec_seconds;
-                transitions_per_10us =
-                    r.transitions / (r.exec_seconds * 1e5);
-            }
-            std::printf(" %8.3f", r.exec_seconds / base_seconds);
-            if (ns == steps[3])
-                worst.push_back(r.exec_seconds / base_seconds);
+        const SimResult *points[4];
+        for (size_t i = 0; i < 4; ++i)
+            points[i] = &results[idx++].sim;
+        double base_seconds = points[0]->exec_seconds;
+        double transitions_per_10us =
+            points[0]->transitions / (points[0]->exec_seconds * 1e5);
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %8.3f", points[i]->exec_seconds / base_seconds);
+            if (i == 3)
+                worst.push_back(points[i]->exec_seconds / base_seconds);
         }
         std::printf("   %8.2f\n", transitions_per_10us);
     }

@@ -4,45 +4,61 @@
  * interrupt latency from 20 to 1000 cycles.  The paper reports < 1%
  * overall performance impact because mugs are rare (< 40 per million
  * instructions).
+ *
+ * Driven by the experiment engine with mug_interrupt_cycles spec
+ * overrides (parallel + cached).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+    const uint64_t cycles[] = {20, 100, 400, 1000};
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &name : names) {
+        for (uint64_t c : cycles) {
+            exp::RunSpec spec{name, SystemShape::s4B4L,
+                              Variant::base_psm};
+            spec.overrides.mug_interrupt_cycles = c;
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Sensitivity: mug interrupt latency (base+psm, "
                 "4B4L) ===\n\n");
     std::printf("%-9s", "kernel");
-    const uint64_t cycles[] = {20, 100, 400, 1000};
     for (uint64_t c : cycles)
         std::printf(" %6llucyc", (unsigned long long)c);
     std::printf("   mugs/Minstr\n");
 
     std::vector<double> worst;
-    for (const auto &name : kernelNames()) {
-        Kernel kernel = makeKernel(name);
+    size_t idx = 0;
+    for (const auto &name : names) {
         std::printf("%-9s", name.c_str());
-        double base_seconds = 0.0;
-        double mug_rate = 0.0;
-        for (uint64_t c : cycles) {
-            MachineConfig config = configFor(kernel, SystemShape::s4B4L,
-                                             Variant::base_psm);
-            config.costs.mug_interrupt_cycles = c;
-            SimResult r = Machine(config, kernel.dag).run();
-            if (c == cycles[0]) {
-                base_seconds = r.exec_seconds;
-                mug_rate = static_cast<double>(r.mugs) /
-                           (r.instructions / 1e6);
-            }
-            std::printf(" %9.3f", r.exec_seconds / base_seconds);
-            if (c == cycles[3])
-                worst.push_back(r.exec_seconds / base_seconds);
+        const SimResult *points[4];
+        for (size_t i = 0; i < 4; ++i)
+            points[i] = &results[idx++].sim;
+        double base_seconds = points[0]->exec_seconds;
+        double mug_rate = static_cast<double>(points[0]->mugs) /
+                          (points[0]->instructions / 1e6);
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %9.3f", points[i]->exec_seconds / base_seconds);
+            if (i == 3)
+                worst.push_back(points[i]->exec_seconds / base_seconds);
         }
         std::printf("   %8.2f\n", mug_rate);
     }

@@ -4,49 +4,60 @@
  * performance.  The paper charges steal attempts implicitly through
  * gem5's memory system; here the cost is an explicit model parameter,
  * so its influence can be quantified directly.
+ *
+ * Driven by the experiment engine with steal_attempt_cycles spec
+ * overrides; each (kernel, cost) point simulates once (the hand-rolled
+ * version re-simulated every point twice) and caches.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+    const uint64_t costs[] = {10, 30, 60, 120};
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &name : names) {
+        for (uint64_t c : costs) {
+            exp::RunSpec spec{name, SystemShape::s4B4L,
+                              Variant::base_psm};
+            spec.overrides.steal_attempt_cycles = c;
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Sensitivity: steal-attempt cost (base+psm, 4B4L) "
                 "===\n\n");
-    const uint64_t costs[] = {10, 30, 60, 120};
     std::printf("%-9s", "kernel");
     for (uint64_t c : costs)
         std::printf(" %6llucyc", (unsigned long long)c);
     std::printf("   steals\n");
     std::vector<double> worst;
-    for (const auto &name : kernelNames()) {
-        Kernel kernel = makeKernel(name);
+    size_t idx = 0;
+    for (const auto &name : names) {
         std::printf("%-9s", name.c_str());
-        double base_seconds = 0.0;
-        uint64_t steals = 0;
-        for (uint64_t c : costs) {
-            MachineConfig config = configFor(kernel, SystemShape::s4B4L,
-                                             Variant::base_psm);
-            config.costs.steal_attempt_cycles = c;
-            SimResult r = Machine(config, kernel.dag).run();
-            if (c == costs[1]) { // 30 cycles is the default
-                base_seconds = r.exec_seconds;
-                steals = r.steals;
-            }
-        }
-        for (uint64_t c : costs) {
-            MachineConfig config = configFor(kernel, SystemShape::s4B4L,
-                                             Variant::base_psm);
-            config.costs.steal_attempt_cycles = c;
-            SimResult r = Machine(config, kernel.dag).run();
-            std::printf(" %9.3f", r.exec_seconds / base_seconds);
-            if (c == costs[3])
-                worst.push_back(r.exec_seconds / base_seconds);
+        const SimResult *points[4];
+        for (size_t i = 0; i < 4; ++i)
+            points[i] = &results[idx++].sim;
+        double base_seconds = points[1]->exec_seconds; // 30cyc default
+        uint64_t steals = points[1]->steals;
+        for (size_t i = 0; i < 4; ++i) {
+            std::printf(" %9.3f", points[i]->exec_seconds / base_seconds);
+            if (i == 3)
+                worst.push_back(points[i]->exec_seconds / base_seconds);
         }
         std::printf("   %6llu\n", (unsigned long long)steals);
     }

@@ -4,17 +4,35 @@
  * workloads and their measured speedups on the simulated 1B7L and 4B4L
  * systems (baseline runtime), printed side by side with the paper's
  * published values.
+ *
+ * The two baseline simulations per kernel run through the experiment
+ * engine (parallel + cached); the serial-IO baselines are closed-form
+ * model evaluations and stay inline.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "aaws/experiment.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
+    const std::vector<std::string> names = cli.filterNames(kernelNames());
+
+    std::vector<exp::RunSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back({name, SystemShape::s1B7L, Variant::base});
+        specs.push_back({name, SystemShape::s4B4L, Variant::base});
+    }
+    std::vector<RunResult> results = exp::runBatch(specs, cli.engine);
+
     std::printf("=== Table III: application kernels (measured | paper) "
                 "===\n\n");
     std::printf("%-9s %5s %-5s | %8s %8s | %8s %8s | %8s %8s | "
@@ -22,17 +40,14 @@ main()
                 "name", "suite", "pm", "DInst(M)", "paper", "tasks",
                 "paper", "task(K)", "paper", "beta", "alpha",
                 "1B7LvsIO", "paper", "4B4LvsIO", "paper");
-    for (const auto &name : kernelNames()) {
+    size_t idx = 0;
+    for (const auto &name : names) {
         Kernel kernel = makeKernel(name);
         const PaperKernelStats &s = kernel.stats;
 
         double serial_io = serialSeconds(kernel, CoreType::little);
-        double t_1b7l =
-            runKernel(kernel, SystemShape::s1B7L, Variant::base)
-                .sim.exec_seconds;
-        double t_4b4l =
-            runKernel(kernel, SystemShape::s4B4L, Variant::base)
-                .sim.exec_seconds;
+        double t_1b7l = results[idx++].sim.exec_seconds;
+        double t_4b4l = results[idx++].sim.exec_seconds;
 
         std::printf("%-9s %5s %-5s | %8.1f %8.1f | %8zu %8d | "
                     "%8.1f %8.1f | %5.1f %5.1f | %9.1f %9.1f | "

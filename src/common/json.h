@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dependency-free JSON reader/writer for the on-disk caches.
+ *
+ * The writer emits compact one-line JSON; doubles are printed with 17
+ * significant digits so parsing them back yields the bit-identical
+ * value (the simulator's determinism contract extends to serialized
+ * results).  The reader is a small recursive-descent parser that keeps
+ * number tokens as raw text, so integer fields can be converted with
+ * full 64-bit precision instead of losing bits through a double.
+ *
+ * parse() returns false on malformed input rather than throwing or
+ * aborting: cache consumers treat any unparsable file as a miss.
+ */
+
+#ifndef AAWS_COMMON_JSON_H
+#define AAWS_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aaws {
+namespace json {
+
+// --- writing ------------------------------------------------------------
+
+/** Quote and escape a string as a JSON string literal. */
+std::string encodeString(std::string_view s);
+
+/** Shortest-faithful double encoding (%.17g round-trips bit-exactly). */
+std::string encodeDouble(double value);
+
+/** Float encoding (%.9g round-trips bit-exactly for binary32). */
+std::string encodeFloat(float value);
+
+// --- parsing ------------------------------------------------------------
+
+/** One parsed JSON value (tree-owning). */
+struct Value
+{
+    enum class Kind
+    {
+        null_value,
+        boolean,
+        number,
+        string,
+        array,
+        object,
+    };
+
+    Kind kind = Kind::null_value;
+    bool bool_value = false;
+    /** Decoded string payload, or the raw number token. */
+    std::string scalar;
+    /** Array elements (kind == array). */
+    std::vector<Value> items;
+    /** Object members in file order (kind == object). */
+    std::vector<std::pair<std::string, Value>> members;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Value *find(std::string_view key) const;
+
+    /** Number -> double via strtod; false when not a number. */
+    bool getDouble(double &out) const;
+    /** Number -> float; false when not a number. */
+    bool getFloat(float &out) const;
+    /** Non-negative integer token -> uint64_t, full precision. */
+    bool getU64(uint64_t &out) const;
+    /** Integer token -> int64_t, full precision. */
+    bool getI64(int64_t &out) const;
+    /** String payload; false when not a string. */
+    bool getString(std::string &out) const;
+    /** Boolean payload; false when not a boolean. */
+    bool getBool(bool &out) const;
+};
+
+/**
+ * Parse a complete JSON document.  Trailing non-whitespace, nesting
+ * deeper than an internal sanity limit, or any syntax error returns
+ * false and leaves `out` unspecified.
+ */
+bool parse(std::string_view text, Value &out);
+
+} // namespace json
+} // namespace aaws
+
+#endif // AAWS_COMMON_JSON_H

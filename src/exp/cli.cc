@@ -1,0 +1,93 @@
+#include "exp/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace aaws {
+namespace exp {
+
+namespace {
+
+/** "--name=value" matcher; returns the value tail on a match. */
+const char *
+flagValue(const char *arg, const char *name)
+{
+    size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=')
+        return arg + len + 1;
+    return nullptr;
+}
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --jobs=N        worker threads (0 = auto; env AAWS_EXP_JOBS)\n"
+        "  --filter=SUB    only kernels containing SUB "
+        "(env AAWS_KERNEL_FILTER)\n"
+        "  --no-cache      disable the result cache "
+        "(env AAWS_EXP_NO_CACHE)\n"
+        "  --cache-dir=D   cache directory "
+        "(env AAWS_EXP_CACHE_DIR; default .aaws-cache)\n"
+        "  --no-progress   suppress engine progress lines on stderr\n"
+        "  --help          this message\n",
+        prog);
+}
+
+} // namespace
+
+void
+BenchCli::parse(int argc, char **argv)
+{
+    if (const char *env = std::getenv("AAWS_KERNEL_FILTER"))
+        filter = env;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *value = flagValue(arg, "--jobs")) {
+            char *end = nullptr;
+            long parsed = std::strtol(value, &end, 10);
+            if (end == value || *end || parsed < 0)
+                fatal("--jobs: expected a non-negative integer, got '%s'",
+                      value);
+            engine.jobs = static_cast<int>(parsed);
+        } else if (const char *value = flagValue(arg, "--filter")) {
+            filter = value;
+        } else if (const char *value = flagValue(arg, "--cache-dir")) {
+            engine.cache_dir = value;
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            engine.use_cache = false;
+        } else if (std::strcmp(arg, "--no-progress") == 0) {
+            engine.progress = false;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg);
+        }
+    }
+}
+
+bool
+BenchCli::matches(const std::string &name) const
+{
+    return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+std::vector<std::string>
+BenchCli::filterNames(const std::vector<std::string> &names) const
+{
+    std::vector<std::string> out;
+    for (const std::string &name : names)
+        if (matches(name))
+            out.push_back(name);
+    if (out.empty() && !names.empty())
+        warn("kernel filter '%s' matches nothing", filter.c_str());
+    return out;
+}
+
+} // namespace exp
+} // namespace aaws

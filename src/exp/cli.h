@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared command-line plumbing for the engine-backed benches.
+ *
+ * Every ported bench accepts the same knobs so CI and humans can run a
+ * cheap, parallel, cached subset of any sweep:
+ *
+ *   --jobs=N        worker threads (env AAWS_EXP_JOBS; 0 = auto)
+ *   --filter=SUB    only kernels whose name contains SUB
+ *                   (env AAWS_KERNEL_FILTER)
+ *   --no-cache      disable the result cache for this run
+ *   --cache-dir=D   cache directory (env AAWS_EXP_CACHE_DIR)
+ *   --no-progress   suppress the engine's stderr progress lines
+ *   --help          print usage and exit
+ */
+
+#ifndef AAWS_EXP_CLI_H
+#define AAWS_EXP_CLI_H
+
+#include <string>
+#include <vector>
+
+#include "exp/engine.h"
+
+namespace aaws {
+namespace exp {
+
+/** Parsed common bench options. */
+struct BenchCli
+{
+    EngineOptions engine;
+    /** Kernel-name substring filter; empty matches everything. */
+    std::string filter;
+
+    /**
+     * Parse the shared flags; fatal() on unknown arguments (benches
+     * take no positional operands).  --help prints usage and exits 0.
+     */
+    void parse(int argc, char **argv);
+
+    /** Does a kernel name pass the filter? */
+    bool matches(const std::string &name) const;
+
+    /** Filtered copy of a kernel-name list (warns when empty). */
+    std::vector<std::string>
+    filterNames(const std::vector<std::string> &names) const;
+};
+
+} // namespace exp
+} // namespace aaws
+
+#endif // AAWS_EXP_CLI_H

@@ -1,0 +1,164 @@
+#include "exp/engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "exp/cache.h"
+#include "runtime/task_group.h"
+#include "runtime/worker_pool.h"
+
+namespace aaws {
+namespace exp {
+
+int
+resolveJobs(int requested, size_t batch_size)
+{
+    int jobs = requested;
+    if (jobs <= 0) {
+        if (const char *env = std::getenv("AAWS_EXP_JOBS")) {
+            char *end = nullptr;
+            long parsed = std::strtol(env, &end, 10);
+            if (end != env && parsed > 0)
+                jobs = static_cast<int>(parsed);
+        }
+    }
+    if (jobs <= 0)
+        jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0)
+        jobs = 1;
+    // More workers than specs only adds pool churn.
+    if (batch_size > 0 && static_cast<size_t>(jobs) > batch_size)
+        jobs = static_cast<int>(batch_size);
+    return jobs;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Throttled done/hit/miss/ETA reporting on stderr. */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(bool enabled, size_t total)
+        : enabled_(enabled), total_(total), start_(Clock::now())
+    {
+    }
+
+    void
+    onRunDone(uint64_t done, uint64_t hits, uint64_t misses)
+    {
+        if (!enabled_ || done == total_)
+            return; // the final line comes from summary()
+        std::lock_guard<std::mutex> lock(mutex_);
+        double elapsed = secondsSince(start_);
+        if (elapsed - last_print_ < 0.2)
+            return;
+        last_print_ = elapsed;
+        double eta = done > 0
+                         ? elapsed * static_cast<double>(total_ - done) /
+                               static_cast<double>(done)
+                         : 0.0;
+        std::fprintf(stderr,
+                     "[aaws-exp] %llu/%zu done, %llu hits, %llu misses, "
+                     "%.1fs elapsed, eta %.1fs\n",
+                     static_cast<unsigned long long>(done), total_,
+                     static_cast<unsigned long long>(hits),
+                     static_cast<unsigned long long>(misses), elapsed,
+                     eta);
+    }
+
+    void
+    summary(const BatchStats &stats)
+    {
+        if (!enabled_)
+            return;
+        uint64_t runs = stats.hits + stats.misses;
+        double cached = runs > 0 ? 100.0 * static_cast<double>(stats.hits) /
+                                       static_cast<double>(runs)
+                                 : 0.0;
+        std::fprintf(stderr,
+                     "[aaws-exp] batch complete: %llu runs, %llu hits, "
+                     "%llu misses (%.1f%% cached), %d jobs, %.1fs\n",
+                     static_cast<unsigned long long>(runs),
+                     static_cast<unsigned long long>(stats.hits),
+                     static_cast<unsigned long long>(stats.misses),
+                     cached, stats.jobs, stats.elapsed_seconds);
+    }
+
+    Clock::time_point start() const { return start_; }
+
+  private:
+    bool enabled_;
+    size_t total_;
+    Clock::time_point start_;
+    std::mutex mutex_;
+    double last_print_ = 0.0;
+};
+
+} // namespace
+
+std::vector<RunResult>
+runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
+         BatchStats *stats_out)
+{
+    ResultCache cache(options.use_cache, options.cache_dir);
+    std::vector<RunResult> results(specs.size());
+    std::atomic<uint64_t> done{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    ProgressReporter progress(options.progress, specs.size());
+
+    auto runOne = [&](size_t i) {
+        const RunSpec &spec = specs[i];
+        RunResult result;
+        if (cache.lookup(spec, result)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            result = executeSpec(spec);
+            misses.fetch_add(1, std::memory_order_relaxed);
+            cache.store(spec, result);
+        }
+        results[i] = std::move(result);
+        uint64_t now_done = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        progress.onRunDone(now_done, hits.load(std::memory_order_relaxed),
+                           misses.load(std::memory_order_relaxed));
+    };
+
+    int jobs = resolveJobs(options.jobs, specs.size());
+    if (jobs <= 1 || specs.size() <= 1) {
+        for (size_t i = 0; i < specs.size(); ++i)
+            runOne(i);
+    } else {
+        // Dogfood the native runtime: one simulation per stealable
+        // task; the master participates through the blocking join.
+        WorkerPool pool(jobs);
+        TaskGroup group(pool);
+        for (size_t i = 0; i < specs.size(); ++i)
+            group.run([&runOne, i] { runOne(i); });
+        group.wait();
+    }
+
+    BatchStats stats;
+    stats.hits = hits.load(std::memory_order_relaxed);
+    stats.misses = misses.load(std::memory_order_relaxed);
+    stats.jobs = jobs;
+    stats.elapsed_seconds = secondsSince(progress.start());
+    progress.summary(stats);
+    if (stats_out)
+        *stats_out = stats;
+    return results;
+}
+
+} // namespace exp
+} // namespace aaws

@@ -1,0 +1,163 @@
+#include "exp/run_spec.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "sim/machine.h"
+#include "sim/result_json.h"
+
+namespace aaws {
+namespace exp {
+
+std::string
+canonicalSpec(const RunSpec &spec)
+{
+    std::string out = strfmt(
+        "aaws-exp/v%u;kernel=%s;system=%s;variant=%s;seed=0x%llx;trace=%d",
+        kCacheSchemaVersion, spec.kernel.c_str(), systemName(spec.system),
+        variantName(spec.variant),
+        static_cast<unsigned long long>(spec.seed),
+        spec.collect_trace ? 1 : 0);
+    // Overrides append in a fixed order, and only when set, so a spec
+    // without overrides hashes identically across engine versions that
+    // add new override knobs.
+    const SpecOverrides &o = spec.overrides;
+    if (o.n_big)
+        out += strfmt(";n_big=%d", *o.n_big);
+    if (o.n_little)
+        out += strfmt(";n_little=%d", *o.n_little);
+    if (o.steal_attempt_cycles)
+        out += strfmt(";steal_attempt_cycles=%llu",
+                      static_cast<unsigned long long>(
+                          *o.steal_attempt_cycles));
+    if (o.mug_interrupt_cycles)
+        out += strfmt(";mug_interrupt_cycles=%llu",
+                      static_cast<unsigned long long>(
+                          *o.mug_interrupt_cycles));
+    if (o.regulator_ns_per_step)
+        out += ";regulator_ns_per_step=" +
+               json::encodeDouble(*o.regulator_ns_per_step);
+    return out;
+}
+
+uint64_t
+specHash(const RunSpec &spec)
+{
+    // FNV-1a, 64-bit.
+    uint64_t hash = 14695981039346656037ull;
+    for (char c : canonicalSpec(spec)) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+void
+applyOverrides(MachineConfig &config, const SpecOverrides &overrides)
+{
+    if (overrides.n_big)
+        config.n_big = *overrides.n_big;
+    if (overrides.n_little)
+        config.n_little = *overrides.n_little;
+    if (overrides.steal_attempt_cycles)
+        config.costs.steal_attempt_cycles = *overrides.steal_attempt_cycles;
+    if (overrides.mug_interrupt_cycles)
+        config.costs.mug_interrupt_cycles = *overrides.mug_interrupt_cycles;
+    if (overrides.regulator_ns_per_step)
+        config.regulator_ns_per_step = *overrides.regulator_ns_per_step;
+}
+
+MachineConfig
+configForSpec(const Kernel &kernel, const RunSpec &spec)
+{
+    MachineConfig config =
+        configFor(kernel, spec.system, spec.variant, spec.collect_trace);
+    applyOverrides(config, spec.overrides);
+    return config;
+}
+
+RunResult
+executeSpec(const RunSpec &spec)
+{
+    Kernel kernel = makeKernel(spec.kernel, spec.seed);
+    MachineConfig config = configForSpec(kernel, spec);
+    RunResult result;
+    result.kernel = spec.kernel;
+    result.system = spec.system;
+    result.variant = spec.variant;
+    result.sim = Machine(config, kernel.dag).run();
+    return result;
+}
+
+std::string
+runResultToJson(const RunResult &result)
+{
+    std::string out = "{\"kernel\":";
+    out += json::encodeString(result.kernel);
+    out += ",\"system\":";
+    out += json::encodeString(systemName(result.system));
+    out += ",\"variant\":";
+    out += json::encodeString(variantName(result.variant));
+    out += ",\"sim\":";
+    out += simResultToJson(result.sim);
+    out += "}";
+    return out;
+}
+
+namespace {
+
+bool
+systemFromNameLenient(const std::string &name, SystemShape &out)
+{
+    for (SystemShape shape : {SystemShape::s4B4L, SystemShape::s1B7L}) {
+        if (name == systemName(shape)) {
+            out = shape;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+variantFromNameLenient(const std::string &name, Variant &out)
+{
+    for (Variant v : allVariants()) {
+        if (name == variantName(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+runResultFromJson(const std::string &text, RunResult &out)
+{
+    json::Value value;
+    return json::parse(text, value) && runResultFromJson(value, out);
+}
+
+bool
+runResultFromJson(const json::Value &value, RunResult &out)
+{
+    if (value.kind != json::Value::Kind::object)
+        return false;
+    const json::Value *kernel = value.find("kernel");
+    const json::Value *system = value.find("system");
+    const json::Value *variant = value.find("variant");
+    const json::Value *sim = value.find("sim");
+    std::string system_name;
+    std::string variant_name;
+    if (!kernel || !kernel->getString(out.kernel) || !system ||
+        !system->getString(system_name) || !variant ||
+        !variant->getString(variant_name) || !sim)
+        return false;
+    if (!systemFromNameLenient(system_name, out.system) ||
+        !variantFromNameLenient(variant_name, out.variant))
+        return false;
+    return simResultFromJson(*sim, out.sim);
+}
+
+} // namespace exp
+} // namespace aaws

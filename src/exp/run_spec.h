@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Declarative simulation specs for the experiment engine.
+ *
+ * A RunSpec names everything that determines one simulation's result:
+ * kernel, machine shape, runtime variant, workload seed, tracing, and
+ * the handful of machine-config overrides the sensitivity/scaling
+ * benches sweep.  Specs have a canonical string form; FNV-1a over that
+ * string (salted with an engine schema version) is the content address
+ * under which the result cache stores the run.
+ */
+
+#ifndef AAWS_EXP_RUN_SPEC_H
+#define AAWS_EXP_RUN_SPEC_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "aaws/experiment.h"
+#include "common/json.h"
+
+namespace aaws {
+namespace exp {
+
+/**
+ * Cache schema version: participates in every spec hash, so bumping it
+ * invalidates all previously cached results.  Bump whenever the
+ * simulator's numeric behaviour, the RunSpec fields, or the result
+ * serialization format change.
+ */
+inline constexpr uint32_t kCacheSchemaVersion = 1;
+
+/** Default workload-synthesis seed (same as kernels/registry.h). */
+inline constexpr uint64_t kDefaultSeed = 0xA57'5EEDull;
+
+/**
+ * Optional machine-config overrides applied after configFor().  Only
+ * the knobs the existing benches sweep are spec-addressable; anything
+ * else would silently alias cache entries, so new sweep dimensions must
+ * be added here (and to the canonical form) first.
+ */
+struct SpecOverrides
+{
+    /** Machine shape override (ext_scaling's nBmL sweep). */
+    std::optional<int> n_big;
+    std::optional<int> n_little;
+    /** Steal-attempt cost in cycles (sens_steal_cost). */
+    std::optional<uint64_t> steal_attempt_cycles;
+    /** Mug interrupt latency in cycles (sens_mug_latency). */
+    std::optional<uint64_t> mug_interrupt_cycles;
+    /** Regulator transition latency in ns/step (sens_dvfs_transition). */
+    std::optional<double> regulator_ns_per_step;
+
+    bool
+    any() const
+    {
+        return n_big || n_little || steal_attempt_cycles ||
+               mug_interrupt_cycles || regulator_ns_per_step;
+    }
+};
+
+/** One simulation the engine should produce a RunResult for. */
+struct RunSpec
+{
+    RunSpec() = default;
+    RunSpec(std::string kernel_name, SystemShape system_shape,
+            Variant run_variant, uint64_t workload_seed = kDefaultSeed,
+            bool trace = false)
+        : kernel(std::move(kernel_name)), system(system_shape),
+          variant(run_variant), seed(workload_seed), collect_trace(trace)
+    {
+    }
+
+    std::string kernel;
+    SystemShape system = SystemShape::s4B4L;
+    Variant variant = Variant::base;
+    uint64_t seed = kDefaultSeed;
+    bool collect_trace = false;
+    SpecOverrides overrides;
+};
+
+/**
+ * Canonical serialization: a stable, human-readable one-liner that is
+ * both the hash input and the integrity check stored inside each cache
+ * record (a hash collision can therefore never return a wrong result,
+ * only a miss).
+ */
+std::string canonicalSpec(const RunSpec &spec);
+
+/** FNV-1a (64-bit) over canonicalSpec(); the cache filename stem. */
+uint64_t specHash(const RunSpec &spec);
+
+/** Apply the spec's overrides to an already-built machine config. */
+void applyOverrides(MachineConfig &config, const SpecOverrides &overrides);
+
+/** configFor() + overrides: the exact config executeSpec() simulates. */
+MachineConfig configForSpec(const Kernel &kernel, const RunSpec &spec);
+
+/** Run the simulation a spec describes (no caching at this layer). */
+RunResult executeSpec(const RunSpec &spec);
+
+// --- RunResult JSON round-tripping --------------------------------------
+
+/** Serialize kernel/system/variant plus the full SimResult (one line). */
+std::string runResultToJson(const RunResult &result);
+
+/**
+ * Rebuild a RunResult; strict and lenient-on-garbage like the SimResult
+ * parser (false on any malformed/unknown content, never fatal()).
+ */
+bool runResultFromJson(const std::string &text, RunResult &out);
+
+/** Same, from an already-parsed JSON value (cache-record embedding). */
+bool runResultFromJson(const json::Value &value, RunResult &out);
+
+} // namespace exp
+} // namespace aaws
+
+#endif // AAWS_EXP_RUN_SPEC_H

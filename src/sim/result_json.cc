@@ -1,0 +1,237 @@
+#include "sim/result_json.h"
+
+namespace aaws {
+
+namespace {
+
+void
+appendField(std::string &out, const char *name, const std::string &value,
+            bool first = false)
+{
+    if (!first)
+        out.push_back(',');
+    out.push_back('"');
+    out += name;
+    out += "\":";
+    out += value;
+}
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+bool
+readDouble(const json::Value &obj, const char *name, double &out)
+{
+    const json::Value *v = obj.find(name);
+    return v && v->getDouble(out);
+}
+
+bool
+readU64(const json::Value &obj, const char *name, uint64_t &out)
+{
+    const json::Value *v = obj.find(name);
+    return v && v->getU64(out);
+}
+
+} // namespace
+
+std::string
+simResultToJson(const SimResult &result)
+{
+    std::string out;
+    out.reserve(512 + 96 * result.core_stats.size() +
+                24 * result.trace.records().size());
+    out.push_back('{');
+    appendField(out, "exec_seconds",
+                json::encodeDouble(result.exec_seconds), true);
+    appendField(out, "energy", json::encodeDouble(result.energy));
+    appendField(out, "waiting_energy",
+                json::encodeDouble(result.waiting_energy));
+    appendField(out, "avg_power", json::encodeDouble(result.avg_power));
+
+    std::string regions = "{";
+    appendField(regions, "serial",
+                json::encodeDouble(result.regions.serial), true);
+    appendField(regions, "hp", json::encodeDouble(result.regions.hp));
+    appendField(regions, "lp_bi_lt_la",
+                json::encodeDouble(result.regions.lp_bi_lt_la));
+    appendField(regions, "lp_bi_ge_la",
+                json::encodeDouble(result.regions.lp_bi_ge_la));
+    appendField(regions, "lp_other",
+                json::encodeDouble(result.regions.lp_other));
+    regions.push_back('}');
+    appendField(out, "regions", regions);
+
+    appendField(out, "instructions", u64(result.instructions));
+    appendField(out, "steals", u64(result.steals));
+    appendField(out, "failed_steals", u64(result.failed_steals));
+    appendField(out, "mugs", u64(result.mugs));
+    appendField(out, "aborted_mugs", u64(result.aborted_mugs));
+    appendField(out, "transitions", u64(result.transitions));
+    appendField(out, "tasks_executed", u64(result.tasks_executed));
+
+    std::string cores = "[";
+    for (size_t i = 0; i < result.core_stats.size(); ++i) {
+        const CoreStats &c = result.core_stats[i];
+        if (i)
+            cores.push_back(',');
+        cores.push_back('{');
+        appendField(cores, "busy_seconds",
+                    json::encodeDouble(c.busy_seconds), true);
+        appendField(cores, "waiting_seconds",
+                    json::encodeDouble(c.waiting_seconds));
+        appendField(cores, "energy", json::encodeDouble(c.energy));
+        appendField(cores, "instructions", u64(c.instructions));
+        cores.push_back('}');
+    }
+    cores.push_back(']');
+    appendField(out, "core_stats", cores);
+
+    std::string occ = "[";
+    for (size_t i = 0; i < result.occupancy_seconds.size(); ++i) {
+        if (i)
+            occ.push_back(',');
+        occ += json::encodeDouble(result.occupancy_seconds[i]);
+    }
+    occ.push_back(']');
+    appendField(out, "occupancy_seconds", occ);
+
+    // Activity trace: records as compact [tick, core, state, voltage]
+    // rows; the state is the TraceState's underlying character code.
+    std::string trace = "{";
+    appendField(trace, "enabled",
+                result.trace.enabled() ? "true" : "false", true);
+    appendField(trace, "end", u64(result.trace.end()));
+    std::string records = "[";
+    for (size_t i = 0; i < result.trace.records().size(); ++i) {
+        const TraceRecord &r = result.trace.records()[i];
+        if (i)
+            records.push_back(',');
+        records.push_back('[');
+        records += u64(r.tick);
+        records.push_back(',');
+        records += std::to_string(r.core);
+        records.push_back(',');
+        records += std::to_string(static_cast<int>(r.state));
+        records.push_back(',');
+        records += json::encodeFloat(r.voltage);
+        records.push_back(']');
+    }
+    records.push_back(']');
+    appendField(trace, "records", records);
+    trace.push_back('}');
+    appendField(out, "trace", trace);
+
+    out.push_back('}');
+    return out;
+}
+
+bool
+simResultFromJson(const json::Value &value, SimResult &out)
+{
+    if (value.kind != json::Value::Kind::object)
+        return false;
+    out = SimResult{};
+
+    if (!readDouble(value, "exec_seconds", out.exec_seconds) ||
+        !readDouble(value, "energy", out.energy) ||
+        !readDouble(value, "waiting_energy", out.waiting_energy) ||
+        !readDouble(value, "avg_power", out.avg_power))
+        return false;
+
+    const json::Value *regions = value.find("regions");
+    if (!regions ||
+        !readDouble(*regions, "serial", out.regions.serial) ||
+        !readDouble(*regions, "hp", out.regions.hp) ||
+        !readDouble(*regions, "lp_bi_lt_la", out.regions.lp_bi_lt_la) ||
+        !readDouble(*regions, "lp_bi_ge_la", out.regions.lp_bi_ge_la) ||
+        !readDouble(*regions, "lp_other", out.regions.lp_other))
+        return false;
+
+    if (!readU64(value, "instructions", out.instructions) ||
+        !readU64(value, "steals", out.steals) ||
+        !readU64(value, "failed_steals", out.failed_steals) ||
+        !readU64(value, "mugs", out.mugs) ||
+        !readU64(value, "aborted_mugs", out.aborted_mugs) ||
+        !readU64(value, "transitions", out.transitions) ||
+        !readU64(value, "tasks_executed", out.tasks_executed))
+        return false;
+
+    const json::Value *cores = value.find("core_stats");
+    if (!cores || cores->kind != json::Value::Kind::array)
+        return false;
+    out.core_stats.reserve(cores->items.size());
+    for (const json::Value &item : cores->items) {
+        CoreStats stats;
+        if (!readDouble(item, "busy_seconds", stats.busy_seconds) ||
+            !readDouble(item, "waiting_seconds", stats.waiting_seconds) ||
+            !readDouble(item, "energy", stats.energy) ||
+            !readU64(item, "instructions", stats.instructions))
+            return false;
+        out.core_stats.push_back(stats);
+    }
+
+    const json::Value *occ = value.find("occupancy_seconds");
+    if (!occ || occ->kind != json::Value::Kind::array)
+        return false;
+    out.occupancy_seconds.reserve(occ->items.size());
+    for (const json::Value &item : occ->items) {
+        double seconds = 0.0;
+        if (!item.getDouble(seconds))
+            return false;
+        out.occupancy_seconds.push_back(seconds);
+    }
+
+    const json::Value *trace = value.find("trace");
+    if (!trace || trace->kind != json::Value::Kind::object)
+        return false;
+    bool enabled = false;
+    const json::Value *enabled_v = trace->find("enabled");
+    if (!enabled_v || !enabled_v->getBool(enabled))
+        return false;
+    if (enabled)
+        out.trace.enable();
+    uint64_t end = 0;
+    if (!readU64(*trace, "end", end))
+        return false;
+    out.trace.setEnd(static_cast<Tick>(end));
+    const json::Value *records = trace->find("records");
+    if (!records || records->kind != json::Value::Kind::array)
+        return false;
+    for (const json::Value &row : records->items) {
+        if (row.kind != json::Value::Kind::array ||
+            row.items.size() != 4)
+            return false;
+        uint64_t tick = 0;
+        int64_t core = 0;
+        int64_t state = 0;
+        float voltage = 0.0f;
+        if (!row.items[0].getU64(tick) || !row.items[1].getI64(core) ||
+            !row.items[2].getI64(state) ||
+            !row.items[3].getFloat(voltage))
+            return false;
+        // record() drops entries on a disabled trace; route around it
+        // so a disabled-but-nonempty record set (not produced by the
+        // writer) still fails closed instead of silently shrinking.
+        if (!out.trace.enabled())
+            return false;
+        out.trace.record(static_cast<Tick>(tick),
+                         static_cast<int>(core),
+                         static_cast<TraceState>(state),
+                         static_cast<double>(voltage));
+    }
+    out.trace.setEnd(static_cast<Tick>(end));
+    return true;
+}
+
+bool
+simResultFromJson(const std::string &text, SimResult &out)
+{
+    json::Value value;
+    return json::parse(text, value) && simResultFromJson(value, out);
+}
+
+} // namespace aaws

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the experiment engine: JSON round-tripping of
+ * simulation results (bit-identical, the same contract style as
+ * stress_determinism), canonical spec hashing, result-cache hit/miss
+ * semantics including corrupt-file tolerance, and the shared bench
+ * CLI's kernel filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/json.h"
+#include "exp/cache.h"
+#include "exp/cli.h"
+#include "exp/engine.h"
+#include "exp/run_spec.h"
+#include "sim/result_json.h"
+#include "stress/sim_compare.h"
+
+namespace aaws {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+fs::path
+scratchDir(const char *name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   (std::string("aaws_exp_") + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+exp::RunSpec
+sampleSpec()
+{
+    return exp::RunSpec("dict", SystemShape::s4B4L, Variant::base_psm);
+}
+
+TEST(ResultJson, SimResultRoundTripsBitIdentically)
+{
+    // Trace enabled exercises every serialized field, including the
+    // record array.
+    RunResult run = runKernel("dict", SystemShape::s4B4L,
+                              Variant::base_psm, /*collect_trace=*/true);
+    std::string text = simResultToJson(run.sim);
+    EXPECT_EQ(text.find('\n'), std::string::npos) << "must be one line";
+
+    SimResult parsed;
+    ASSERT_TRUE(simResultFromJson(text, parsed));
+    stress::expectIdenticalResults(run.sim, parsed);
+    EXPECT_EQ(run.sim.trace.enabled(), parsed.trace.enabled());
+    EXPECT_EQ(run.sim.trace.end(), parsed.trace.end());
+
+    // And the round trip is a fixed point: serializing the parsed
+    // result reproduces the text byte-for-byte.
+    EXPECT_EQ(text, simResultToJson(parsed));
+}
+
+TEST(ResultJson, RunResultRoundTripPreservesIdentity)
+{
+    RunResult run = runKernel("qsort-1", SystemShape::s1B7L,
+                              Variant::base_m);
+    std::string text = exp::runResultToJson(run);
+    RunResult parsed;
+    ASSERT_TRUE(exp::runResultFromJson(text, parsed));
+    EXPECT_EQ(parsed.kernel, "qsort-1");
+    EXPECT_EQ(parsed.system, SystemShape::s1B7L);
+    EXPECT_EQ(parsed.variant, Variant::base_m);
+    EXPECT_EQ(std::bit_cast<uint64_t>(parsed.sim.exec_seconds),
+              std::bit_cast<uint64_t>(run.sim.exec_seconds));
+    stress::expectIdenticalResults(run.sim, parsed.sim);
+}
+
+TEST(ResultJson, RejectsMalformedInput)
+{
+    SimResult sim;
+    EXPECT_FALSE(simResultFromJson(std::string("{"), sim));
+    EXPECT_FALSE(simResultFromJson(std::string("{}"), sim));
+    EXPECT_FALSE(simResultFromJson(std::string("not json at all"), sim));
+    RunResult run;
+    EXPECT_FALSE(exp::runResultFromJson("{\"kernel\":\"x\"}", run));
+    // Unknown enum names fail closed instead of fatal()ing.
+    EXPECT_FALSE(exp::runResultFromJson(
+        "{\"kernel\":\"dict\",\"system\":\"9B9L\",\"variant\":\"base\","
+        "\"sim\":{}}",
+        run));
+}
+
+TEST(Json, NumbersKeepFullIntegerPrecision)
+{
+    // 2^63 + 27 is not representable as a double; the raw-token parse
+    // must still recover it exactly.
+    uint64_t big = (1ull << 63) + 27;
+    json::Value value;
+    ASSERT_TRUE(json::parse(std::to_string(big), value));
+    uint64_t parsed = 0;
+    ASSERT_TRUE(value.getU64(parsed));
+    EXPECT_EQ(parsed, big);
+}
+
+TEST(RunSpec, CanonicalFormCoversEveryField)
+{
+    exp::RunSpec spec = sampleSpec();
+    std::string canonical = exp::canonicalSpec(spec);
+    EXPECT_NE(canonical.find("kernel=dict"), std::string::npos);
+    EXPECT_NE(canonical.find("system=4B4L"), std::string::npos);
+    EXPECT_NE(canonical.find("variant=base+psm"), std::string::npos);
+    // Unset overrides stay out of the canonical form so hashes remain
+    // stable when new override knobs are added.
+    EXPECT_EQ(canonical.find("n_big"), std::string::npos);
+
+    spec.overrides.n_big = 8;
+    EXPECT_NE(exp::canonicalSpec(spec).find("n_big=8"),
+              std::string::npos);
+}
+
+TEST(RunSpec, HashSeparatesSpecs)
+{
+    exp::RunSpec spec = sampleSpec();
+    EXPECT_EQ(exp::specHash(spec), exp::specHash(sampleSpec()));
+
+    exp::RunSpec other = sampleSpec();
+    other.variant = Variant::base;
+    EXPECT_NE(exp::specHash(spec), exp::specHash(other));
+
+    other = sampleSpec();
+    other.seed ^= 1;
+    EXPECT_NE(exp::specHash(spec), exp::specHash(other));
+
+    other = sampleSpec();
+    other.overrides.steal_attempt_cycles = 30;
+    EXPECT_NE(exp::specHash(spec), exp::specHash(other));
+
+    other = sampleSpec();
+    other.collect_trace = true;
+    EXPECT_NE(exp::specHash(spec), exp::specHash(other));
+}
+
+TEST(ResultCache, StoreThenLookupRoundTrips)
+{
+    fs::path dir = scratchDir("cache_roundtrip");
+    exp::ResultCache cache(true, dir.string());
+    exp::RunSpec spec = sampleSpec();
+
+    RunResult miss;
+    EXPECT_FALSE(cache.lookup(spec, miss)) << "cold cache must miss";
+
+    RunResult computed = exp::executeSpec(spec);
+    ASSERT_TRUE(cache.store(spec, computed));
+    RunResult hit;
+    ASSERT_TRUE(cache.lookup(spec, hit));
+    EXPECT_EQ(hit.kernel, computed.kernel);
+    stress::expectIdenticalResults(computed.sim, hit.sim);
+
+    // A different spec never sees that entry.
+    exp::RunSpec other = sampleSpec();
+    other.variant = Variant::base;
+    EXPECT_FALSE(cache.lookup(other, miss));
+}
+
+TEST(ResultCache, CorruptOrTruncatedFilesReadAsMisses)
+{
+    fs::path dir = scratchDir("cache_corrupt");
+    exp::ResultCache cache(true, dir.string());
+    exp::RunSpec spec = sampleSpec();
+    RunResult computed = exp::executeSpec(spec);
+    ASSERT_TRUE(cache.store(spec, computed));
+    std::string path = cache.pathFor(spec);
+
+    // Truncate to half: unparsable, must miss (not crash).
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() / 2);
+    }
+    RunResult out_result;
+    EXPECT_FALSE(cache.lookup(spec, out_result));
+
+    // Garbage bytes: miss.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "\x00\xff garbage {]";
+    }
+    EXPECT_FALSE(cache.lookup(spec, out_result));
+
+    // Valid JSON recorded for a *different* canonical spec (as after a
+    // schema change or hash collision): miss.
+    {
+        exp::RunSpec other = sampleSpec();
+        other.seed ^= 1;
+        std::string record = "{\"schema\":1,\"spec\":" +
+                             json::encodeString(exp::canonicalSpec(other)) +
+                             ",\"result\":" +
+                             exp::runResultToJson(computed) + "}";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << record;
+    }
+    EXPECT_FALSE(cache.lookup(spec, out_result));
+
+    // Re-storing repairs the entry.
+    ASSERT_TRUE(cache.store(spec, computed));
+    EXPECT_TRUE(cache.lookup(spec, out_result));
+}
+
+TEST(ResultCache, DisabledCacheNeverTouchesDisk)
+{
+    fs::path dir = scratchDir("cache_disabled");
+    fs::remove_all(dir);
+    exp::ResultCache cache(false, dir.string());
+    EXPECT_FALSE(cache.enabled());
+    exp::RunSpec spec = sampleSpec();
+    RunResult computed = exp::executeSpec(spec);
+    EXPECT_FALSE(cache.store(spec, computed));
+    RunResult out_result;
+    EXPECT_FALSE(cache.lookup(spec, out_result));
+    EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST(BenchCli, FilterMatchesSubstrings)
+{
+    exp::BenchCli cli;
+    EXPECT_TRUE(cli.matches("dict")) << "empty filter matches all";
+    cli.filter = "radix";
+    EXPECT_TRUE(cli.matches("radix-1"));
+    EXPECT_TRUE(cli.matches("radix-2"));
+    EXPECT_FALSE(cli.matches("dict"));
+    std::vector<std::string> filtered =
+        cli.filterNames({"radix-1", "dict", "radix-2"});
+    EXPECT_EQ(filtered,
+              (std::vector<std::string>{"radix-1", "radix-2"}));
+}
+
+TEST(BenchCli, ParseReadsSharedFlags)
+{
+    const char *argv[] = {"bench", "--jobs=3", "--filter=uts",
+                          "--no-cache", "--cache-dir=/tmp/x",
+                          "--no-progress"};
+    exp::BenchCli cli;
+    cli.parse(6, const_cast<char **>(argv));
+    EXPECT_EQ(cli.engine.jobs, 3);
+    EXPECT_EQ(cli.filter, "uts");
+    EXPECT_FALSE(cli.engine.use_cache);
+    EXPECT_EQ(cli.engine.cache_dir, "/tmp/x");
+    EXPECT_FALSE(cli.engine.progress);
+}
+
+TEST(Engine, ResolveJobsClampsToBatchSize)
+{
+    EXPECT_EQ(exp::resolveJobs(8, 3), 3);
+    EXPECT_EQ(exp::resolveJobs(2, 100), 2);
+    EXPECT_GE(exp::resolveJobs(0, 100), 1);
+}
+
+} // namespace
+} // namespace aaws

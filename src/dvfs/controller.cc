@@ -24,9 +24,19 @@ std::vector<double>
 DvfsController::decide(const std::vector<bool> &active,
                        int serial_core) const
 {
+    std::vector<double> v;
+    decideInto(active, serial_core, v);
+    return v;
+}
+
+void
+DvfsController::decideInto(const std::vector<bool> &active,
+                           int serial_core,
+                           std::vector<double> &out) const
+{
     AAWS_ASSERT(static_cast<int>(active.size()) == numCores(),
                 "activity vector size mismatch");
-    std::vector<double> v(active.size(), v_nom_);
+    out.assign(active.size(), v_nom_);
 
     int n_big_active = 0;
     int n_little_active = 0;
@@ -40,13 +50,13 @@ DvfsController::decide(const std::vector<bool> &active,
     if (serial_core >= 0 && policy_.serial_sprinting) {
         // Truly serial region: sprint the one active core; other cores
         // rest only if work-sprinting is available, else idle at nominal.
-        for (size_t i = 0; i < v.size(); ++i) {
+        for (size_t i = 0; i < out.size(); ++i) {
             if (static_cast<int>(i) == serial_core)
-                v[i] = v_max_;
+                out[i] = v_max_;
             else
-                v[i] = policy_.work_sprinting ? v_min_ : v_nom_;
+                out[i] = policy_.work_sprinting ? v_min_ : v_nom_;
         }
-        return v;
+        return;
     }
 
     bool all_active =
@@ -54,25 +64,26 @@ DvfsController::decide(const std::vector<bool> &active,
 
     if (all_active) {
         if (!policy_.work_pacing)
-            return v; // asymmetry-oblivious: everyone at nominal
+            return; // asymmetry-oblivious: everyone at nominal
         const DvfsTableEntry &e =
             table_.at(n_big_active, n_little_active);
-        for (size_t i = 0; i < v.size(); ++i)
-            v[i] = core_types_[i] == CoreType::big ? e.v_big : e.v_little;
-        return v;
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] =
+                core_types_[i] == CoreType::big ? e.v_big : e.v_little;
+        return;
     }
 
     if (!policy_.work_sprinting)
-        return v; // waiting cores spin at nominal, active cores at nominal
+        return; // waiting cores spin at nominal, active cores at nominal
 
     const DvfsTableEntry &e = table_.at(n_big_active, n_little_active);
-    for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t i = 0; i < out.size(); ++i) {
         if (!active[i])
-            v[i] = v_min_;
+            out[i] = v_min_;
         else
-            v[i] = core_types_[i] == CoreType::big ? e.v_big : e.v_little;
+            out[i] =
+                core_types_[i] == CoreType::big ? e.v_big : e.v_little;
     }
-    return v;
 }
 
 } // namespace aaws

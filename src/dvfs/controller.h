@@ -63,6 +63,14 @@ class DvfsController
     std::vector<double> decide(const std::vector<bool> &active,
                                int serial_core) const;
 
+    /**
+     * Allocation-free variant of decide(): writes the target voltages
+     * into `out` (resized/overwritten).  The simulator calls this once
+     * per hint change, so it reuses one buffer across the whole run.
+     */
+    void decideInto(const std::vector<bool> &active, int serial_core,
+                    std::vector<double> &out) const;
+
     const DvfsPolicy &policy() const { return policy_; }
     int numCores() const { return static_cast<int>(core_types_.size()); }
 

@@ -34,8 +34,22 @@ printUsage(const char *prog)
         "  --cache-dir=D   cache directory "
         "(env AAWS_EXP_CACHE_DIR; default .aaws-cache)\n"
         "  --no-progress   suppress engine progress lines on stderr\n"
+        "  --time          print a sims/sec + events/sec line on stderr\n"
+        "  --bench-json=F  write a machine-readable perf record to F "
+        "(env AAWS_BENCH_SIM_JSON)\n"
         "  --help          this message\n",
         prog);
+}
+
+/** argv[0] stripped to its basename: the bench name in perf records. */
+const char *
+progBasename(const char *prog)
+{
+    const char *base = prog;
+    for (const char *p = prog; *p; ++p)
+        if (*p == '/')
+            base = p + 1;
+    return base;
 }
 
 } // namespace
@@ -45,14 +59,24 @@ BenchCli::parse(int argc, char **argv)
 {
     if (const char *env = std::getenv("AAWS_KERNEL_FILTER"))
         filter = env;
+    if (const char *env = std::getenv("AAWS_BENCH_SIM_JSON"))
+        engine.bench_json = env;
+    if (argc > 0)
+        engine.bench_name = progBasename(argv[0]);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (const char *value = flagValue(arg, "--jobs")) {
             char *end = nullptr;
             long parsed = std::strtol(value, &end, 10);
-            if (end == value || *end || parsed < 0)
-                fatal("--jobs: expected a non-negative integer, got '%s'",
-                      value);
+            if (end == value || *end)
+                fatal("--jobs: expected an integer, got '%s'", value);
+            if (parsed <= 0) {
+                // 0 and negatives mean "pick for me": fall through to
+                // the engine's auto-detection rather than erroring out.
+                warn("--jobs=%ld clamped to auto (hardware concurrency)",
+                     parsed);
+                parsed = 0;
+            }
             engine.jobs = static_cast<int>(parsed);
         } else if (const char *value = flagValue(arg, "--filter")) {
             filter = value;
@@ -60,8 +84,12 @@ BenchCli::parse(int argc, char **argv)
             engine.cache_dir = value;
         } else if (std::strcmp(arg, "--no-cache") == 0) {
             engine.use_cache = false;
+        } else if (const char *value = flagValue(arg, "--bench-json")) {
+            engine.bench_json = value;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             engine.progress = false;
+        } else if (std::strcmp(arg, "--time") == 0) {
+            engine.time_report = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             printUsage(argv[0]);
             std::exit(0);

@@ -11,7 +11,14 @@
  *   --no-cache      disable the result cache for this run
  *   --cache-dir=D   cache directory (env AAWS_EXP_CACHE_DIR)
  *   --no-progress   suppress the engine's stderr progress lines
+ *   --time          print a sims/sec + events/sec self-report line
+ *   --bench-json=F  write a machine-readable perf record to F
+ *                   (env AAWS_BENCH_SIM_JSON)
  *   --help          print usage and exit
+ *
+ * `--jobs` accepts 0 and negative values as "auto" (clamped, with a
+ * warning, to the engine's hardware-concurrency detection); the engine
+ * reports the effective worker count in its stderr header.
  */
 
 #ifndef AAWS_EXP_CLI_H

@@ -4,10 +4,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
+#include "common/json.h"
+#include "common/logging.h"
 #include "exp/cache.h"
+#include "kernels/registry.h"
 #include "runtime/task_group.h"
 #include "runtime/worker_pool.h"
 
@@ -106,6 +112,78 @@ class ProgressReporter
     double last_print_ = 0.0;
 };
 
+/**
+ * Per-batch kernel memo: a sweep simulates the same (kernel, seed) DAG
+ * under many configs, so each unique pair is generated at most once per
+ * batch -- lazily, on the first cache miss that needs it -- and the
+ * sealed, immutable DAG is shared by every concurrent simulation.
+ */
+class KernelPool
+{
+  public:
+    explicit KernelPool(const std::vector<RunSpec> &specs)
+    {
+        // Pre-create every slot serially so workers never mutate the
+        // map; they only resolve keys and race on the per-slot once.
+        for (const RunSpec &spec : specs)
+            slots_[{spec.kernel, spec.seed}];
+    }
+
+    const Kernel &
+    get(const RunSpec &spec)
+    {
+        Slot &slot = slots_.at({spec.kernel, spec.seed});
+        std::call_once(slot.once, [&] {
+            slot.kernel.emplace(makeKernel(spec.kernel, spec.seed));
+        });
+        return *slot.kernel;
+    }
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        std::optional<Kernel> kernel;
+    };
+
+    std::map<std::pair<std::string, uint64_t>, Slot> slots_;
+};
+
+/** One-line machine-readable perf record (see EXPERIMENTS.md schema). */
+void
+writeBenchJson(const std::string &path, const std::string &bench_name,
+               const BatchStats &stats)
+{
+    double elapsed = stats.elapsed_seconds > 0.0 ? stats.elapsed_seconds
+                                                 : 1e-9;
+    std::string out = "{\"schema\":\"aaws-bench-sim/v1\",\"bench\":";
+    out += json::encodeString(bench_name);
+    out += strfmt(",\"runs\":%llu,\"hits\":%llu,\"misses\":%llu,"
+                  "\"jobs\":%d",
+                  static_cast<unsigned long long>(stats.hits +
+                                                  stats.misses),
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  stats.jobs);
+    out += ",\"elapsed_seconds\":" +
+           json::encodeDouble(stats.elapsed_seconds);
+    out += strfmt(",\"sim_events\":%llu",
+                  static_cast<unsigned long long>(stats.sim_events));
+    out += ",\"sims_per_second\":" +
+           json::encodeDouble(static_cast<double>(stats.misses) / elapsed);
+    out += ",\"events_per_second\":" +
+           json::encodeDouble(static_cast<double>(stats.sim_events) /
+                              elapsed);
+    out += "}\n";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write bench perf record '%s'", path.c_str());
+        return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+}
+
 } // namespace
 
 std::vector<RunResult>
@@ -117,7 +195,14 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
     std::atomic<uint64_t> done{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> sim_events{0};
     ProgressReporter progress(options.progress, specs.size());
+    KernelPool kernels(specs);
+
+    int jobs = resolveJobs(options.jobs, specs.size());
+    if (options.progress)
+        std::fprintf(stderr, "[aaws-exp] running %zu specs on %d jobs\n",
+                     specs.size(), jobs);
 
     auto runOne = [&](size_t i) {
         const RunSpec &spec = specs[i];
@@ -125,8 +210,10 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
         if (cache.lookup(spec, result)) {
             hits.fetch_add(1, std::memory_order_relaxed);
         } else {
-            result = executeSpec(spec);
+            result = executeSpec(spec, kernels.get(spec));
             misses.fetch_add(1, std::memory_order_relaxed);
+            sim_events.fetch_add(result.sim.sim_events,
+                                 std::memory_order_relaxed);
             cache.store(spec, result);
         }
         results[i] = std::move(result);
@@ -135,7 +222,6 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
                            misses.load(std::memory_order_relaxed));
     };
 
-    int jobs = resolveJobs(options.jobs, specs.size());
     if (jobs <= 1 || specs.size() <= 1) {
         for (size_t i = 0; i < specs.size(); ++i)
             runOne(i);
@@ -154,7 +240,26 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
     stats.misses = misses.load(std::memory_order_relaxed);
     stats.jobs = jobs;
     stats.elapsed_seconds = secondsSince(progress.start());
+    stats.sim_events = sim_events.load(std::memory_order_relaxed);
     progress.summary(stats);
+    if (options.time_report) {
+        double elapsed =
+            stats.elapsed_seconds > 0.0 ? stats.elapsed_seconds : 1e-9;
+        std::fprintf(stderr,
+                     "[aaws-exp] time: %.3fs wall, %.1f sims/s, "
+                     "%.3fM events/s (%llu events over %llu executed "
+                     "sims)\n",
+                     stats.elapsed_seconds,
+                     static_cast<double>(stats.misses) / elapsed,
+                     static_cast<double>(stats.sim_events) / elapsed / 1e6,
+                     static_cast<unsigned long long>(stats.sim_events),
+                     static_cast<unsigned long long>(stats.misses));
+    }
+    if (!options.bench_json.empty())
+        writeBenchJson(options.bench_json,
+                       options.bench_name.empty() ? "batch"
+                                                  : options.bench_name,
+                       stats);
     if (stats_out)
         *stats_out = stats;
     return results;

@@ -41,6 +41,12 @@ struct EngineOptions
     std::string cache_dir;
     /** Progress/summary lines on stderr. */
     bool progress = true;
+    /** Print a sims/sec + events/sec self-report line on stderr. */
+    bool time_report = false;
+    /** When non-empty, write a BENCH_sim.json perf record to this path. */
+    std::string bench_json;
+    /** Bench name recorded in the BENCH_sim.json record. */
+    std::string bench_name;
 };
 
 /** What a batch did (for tests, CI assertions, and callers' logging). */
@@ -50,6 +56,8 @@ struct BatchStats
     uint64_t misses = 0;
     int jobs = 1;
     double elapsed_seconds = 0.0;
+    /** Discrete events processed across executed (non-cached) sims. */
+    uint64_t sim_events = 0;
 };
 
 /** Resolve the effective worker count for a batch of the given size. */

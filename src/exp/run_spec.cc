@@ -79,6 +79,12 @@ RunResult
 executeSpec(const RunSpec &spec)
 {
     Kernel kernel = makeKernel(spec.kernel, spec.seed);
+    return executeSpec(spec, kernel);
+}
+
+RunResult
+executeSpec(const RunSpec &spec, const Kernel &kernel)
+{
     MachineConfig config = configForSpec(kernel, spec);
     RunResult result;
     result.kernel = spec.kernel;

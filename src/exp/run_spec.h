@@ -29,7 +29,7 @@ namespace exp {
  * simulator's numeric behaviour, the RunSpec fields, or the result
  * serialization format change.
  */
-inline constexpr uint32_t kCacheSchemaVersion = 1;
+inline constexpr uint32_t kCacheSchemaVersion = 2;
 
 /** Default workload-synthesis seed (same as kernels/registry.h). */
 inline constexpr uint64_t kDefaultSeed = 0xA57'5EEDull;
@@ -99,6 +99,15 @@ MachineConfig configForSpec(const Kernel &kernel, const RunSpec &spec);
 
 /** Run the simulation a spec describes (no caching at this layer). */
 RunResult executeSpec(const RunSpec &spec);
+
+/**
+ * Same, against an already-instantiated kernel (must be the product of
+ * makeKernel(spec.kernel, spec.seed)).  The engine memoizes kernels per
+ * batch -- a sweep simulates each (kernel, seed) DAG many times under
+ * different configs -- and sealed DAGs are safely shared across
+ * concurrently running simulations.
+ */
+RunResult executeSpec(const RunSpec &spec, const Kernel &kernel);
 
 // --- RunResult JSON round-tripping --------------------------------------
 

@@ -15,14 +15,21 @@ buildRange(TaskDag &dag, const std::vector<ForItem> &items, int64_t lo,
 {
     uint32_t t = dag.addTask();
     if (hi - lo <= grain) {
-        dag.addWork(t, costs.leaf_setup);
+        // Accumulate contiguous per-iteration work locally and flush in
+        // one addWork per run: the op stream is identical (addWork
+        // coalesces adjacent work ops anyway) but the DAG is touched
+        // once per call boundary instead of once per iteration.
+        uint64_t acc = costs.leaf_setup;
         for (int64_t i = lo; i < hi; ++i) {
-            dag.addWork(t, costs.per_iter + items[i].work);
+            acc += costs.per_iter + items[i].work;
             if (items[i].call_task >= 0) {
+                dag.addWork(t, acc);
+                acc = 0;
                 dag.addCall(t,
                             static_cast<uint32_t>(items[i].call_task));
             }
         }
+        dag.addWork(t, acc);
         return t;
     }
     int64_t mid = lo + (hi - lo) / 2;

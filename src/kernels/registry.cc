@@ -54,6 +54,10 @@ makeKernel(const std::string &name, uint64_t seed)
             Rng rng(mixed);
             Kernel kernel{table3Row(name), entry.generate(rng)};
             kernel.dag.validate();
+            // Freeze the DAG: builds the packed op view once and makes
+            // the kernel safely shareable across concurrent simulations
+            // (the experiment engine memoizes kernels per batch).
+            kernel.dag.seal();
             return kernel;
         }
     }

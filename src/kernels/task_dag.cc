@@ -2,72 +2,59 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
-
 namespace aaws {
-
-uint32_t
-TaskDag::addTask()
-{
-    tasks_.emplace_back();
-    return static_cast<uint32_t>(tasks_.size() - 1);
-}
-
-void
-TaskDag::addWork(uint32_t t, uint64_t instructions)
-{
-    if (instructions == 0)
-        return;
-    AAWS_ASSERT(t < tasks_.size(), "bad task id %u", t);
-    auto &ops = tasks_[t].ops;
-    if (!ops.empty() && ops.back().kind == OpKind::work)
-        ops.back().arg += instructions;
-    else
-        ops.push_back({OpKind::work, instructions});
-}
-
-void
-TaskDag::addSpawn(uint32_t t, uint32_t child)
-{
-    AAWS_ASSERT(t < tasks_.size() && child < tasks_.size(),
-                "bad spawn %u -> %u", t, child);
-    AAWS_ASSERT(child != t, "task %u cannot spawn itself", t);
-    tasks_[t].ops.push_back({OpKind::spawn, child});
-}
-
-void
-TaskDag::addCall(uint32_t t, uint32_t child)
-{
-    AAWS_ASSERT(t < tasks_.size() && child < tasks_.size(),
-                "bad call %u -> %u", t, child);
-    AAWS_ASSERT(child != t, "task %u cannot call itself", t);
-    tasks_[t].ops.push_back({OpKind::call, child});
-}
-
-void
-TaskDag::addSync(uint32_t t)
-{
-    AAWS_ASSERT(t < tasks_.size(), "bad task id %u", t);
-    tasks_[t].ops.push_back({OpKind::sync, 0});
-}
 
 void
 TaskDag::addPhase(uint64_t serial_work, int32_t root)
 {
     AAWS_ASSERT(root == -1 ||
-                (root >= 0 && static_cast<size_t>(root) < tasks_.size()),
+                (root >= 0 && static_cast<size_t>(root) < head_.size()),
                 "bad phase root %d", root);
+    AAWS_ASSERT(!sealed_, "mutating a sealed TaskDag");
     phases_.push_back({serial_work, root});
+}
+
+void
+TaskDag::ensurePacked() const
+{
+    if (!dirty_)
+        return;
+    size_t n = head_.size();
+    op_begin_.assign(n + 1, 0);
+    packed_ops_.clear();
+    packed_ops_.reserve(pool_.size());
+    for (size_t t = 0; t < n; ++t) {
+        op_begin_[t] = static_cast<uint32_t>(packed_ops_.size());
+        for (int32_t node = head_[t]; node >= 0; node = pool_[node].next)
+            packed_ops_.push_back(pool_[node].op);
+    }
+    op_begin_[n] = static_cast<uint32_t>(packed_ops_.size());
+    dirty_ = false;
+}
+
+void
+TaskDag::seal()
+{
+    ensurePacked();
+    sealed_ = true;
+    // Release the build arena: sealed DAGs are read-only and the packed
+    // view is the only representation consumers touch.
+    pool_.clear();
+    pool_.shrink_to_fit();
+    head_.clear();
+    head_.shrink_to_fit();
+    tail_.clear();
+    tail_.shrink_to_fit();
 }
 
 uint64_t
 TaskDag::totalTaskWork() const
 {
+    ensurePacked();
     uint64_t sum = 0;
-    for (const auto &task : tasks_)
-        for (const auto &op : task.ops)
-            if (op.kind == OpKind::work)
-                sum += op.arg;
+    for (const TaskOp &op : packed_ops_)
+        if (op.kind == OpKind::work)
+            sum += op.arg;
     return sum;
 }
 
@@ -93,7 +80,10 @@ TaskDag::criticalPathOf(uint32_t t, std::vector<uint64_t> &memo) const
         return memo[t];
     uint64_t local = 0;
     uint64_t pending_max = 0; // completion bound of spawned children
-    for (const auto &op : tasks_[t].ops) {
+    const TaskOp *ops = packed_ops_.data() + op_begin_[t];
+    size_t count = op_begin_[t + 1] - op_begin_[t];
+    for (size_t i = 0; i < count; ++i) {
+        const TaskOp &op = ops[i];
         switch (op.kind) {
           case OpKind::work:
             local += op.arg;
@@ -122,7 +112,8 @@ TaskDag::criticalPathOf(uint32_t t, std::vector<uint64_t> &memo) const
 uint64_t
 TaskDag::criticalPathWork() const
 {
-    std::vector<uint64_t> memo(tasks_.size(), UINT64_MAX);
+    ensurePacked();
+    std::vector<uint64_t> memo(numTasks(), UINT64_MAX);
     uint64_t span = 0;
     for (const auto &phase : phases_) {
         span += phase.serial_work;
@@ -137,20 +128,23 @@ TaskDag::criticalPathWork() const
 double
 TaskDag::avgTaskWork() const
 {
-    if (tasks_.empty())
+    if (numTasks() == 0)
         return 0.0;
     return static_cast<double>(totalTaskWork()) /
-           static_cast<double>(tasks_.size());
+           static_cast<double>(numTasks());
 }
 
 void
 TaskDag::validate() const
 {
-    std::vector<int> refs(tasks_.size(), 0);
-    for (size_t t = 0; t < tasks_.size(); ++t) {
-        for (const auto &op : tasks_[t].ops) {
+    ensurePacked();
+    size_t n = numTasks();
+    std::vector<int> refs(n, 0);
+    for (size_t t = 0; t < n; ++t) {
+        for (uint32_t i = op_begin_[t]; i < op_begin_[t + 1]; ++i) {
+            const TaskOp &op = packed_ops_[i];
             if (op.kind == OpKind::spawn || op.kind == OpKind::call) {
-                AAWS_ASSERT(op.arg < tasks_.size(),
+                AAWS_ASSERT(op.arg < n,
                             "task %zu references missing task %llu", t,
                             static_cast<unsigned long long>(op.arg));
                 refs[op.arg]++;
@@ -161,7 +155,7 @@ TaskDag::validate() const
         if (phase.root_task >= 0)
             refs[phase.root_task]++;
     }
-    for (size_t t = 0; t < tasks_.size(); ++t) {
+    for (size_t t = 0; t < n; ++t) {
         AAWS_ASSERT(refs[t] <= 1,
                     "task %zu referenced %d times (tree structure "
                     "violated)", t, refs[t]);
@@ -169,7 +163,7 @@ TaskDag::validate() const
     // Explicit reachability from the phase roots: together with the
     // reference-once property above this proves the spawn/call structure
     // is a forest rooted at the phases (and therefore acyclic).
-    std::vector<bool> reachable(tasks_.size(), false);
+    std::vector<bool> reachable(n, false);
     std::vector<uint32_t> stack;
     for (const auto &phase : phases_) {
         if (phase.root_task >= 0)
@@ -183,14 +177,15 @@ TaskDag::validate() const
             continue;
         reachable[t] = true;
         num_reachable++;
-        for (const auto &op : tasks_[t].ops) {
+        for (uint32_t i = op_begin_[t]; i < op_begin_[t + 1]; ++i) {
+            const TaskOp &op = packed_ops_[i];
             if (op.kind == OpKind::spawn || op.kind == OpKind::call)
                 stack.push_back(static_cast<uint32_t>(op.arg));
         }
     }
-    AAWS_ASSERT(num_reachable == tasks_.size(),
+    AAWS_ASSERT(num_reachable == n,
                 "%zu task(s) are unreachable from any phase",
-                tasks_.size() - num_reachable);
+                n - num_reachable);
 }
 
 } // namespace aaws

@@ -21,6 +21,15 @@
  *
  * The DAG carries *algorithmic* work only; per-operation runtime costs
  * (enqueue, steal, sync checks) are charged by the simulator cost model.
+ *
+ * Storage: generators append operations to tasks in arbitrary
+ * interleaved order (recursive decompositions build children before
+ * finishing the parent), so ops are built in one shared arena as
+ * per-task linked chains -- one allocation stream for the whole DAG
+ * instead of a vector per task.  Consumers read a packed
+ * structure-of-arrays view (flat op array + per-task span offsets)
+ * built lazily and frozen by seal(); the simulator's inner interpreter
+ * walks the flat array directly.
  */
 
 #ifndef AAWS_KERNELS_TASK_DAG_H
@@ -29,6 +38,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace aaws {
 
@@ -41,12 +52,6 @@ struct TaskOp
     OpKind kind;
     /** work: instruction count; spawn/call: child task id; sync: unused. */
     uint64_t arg;
-};
-
-/** One task: a straight-line program of operations. */
-struct Task
-{
-    std::vector<TaskOp> ops;
 };
 
 /** One application phase executed by logical thread 0. */
@@ -65,30 +70,111 @@ class TaskDag
 {
   public:
     /** Append an empty task and return its id. */
-    uint32_t addTask();
+    uint32_t
+    addTask()
+    {
+        AAWS_ASSERT(!sealed_, "mutating a sealed TaskDag");
+        head_.push_back(-1);
+        tail_.push_back(-1);
+        num_tasks_++;
+        dirty_ = true;
+        return static_cast<uint32_t>(num_tasks_ - 1);
+    }
 
     /** Append `instructions` of body work to task `t` (coalesces). */
-    void addWork(uint32_t t, uint64_t instructions);
+    void
+    addWork(uint32_t t, uint64_t instructions)
+    {
+        if (instructions == 0)
+            return;
+        AAWS_ASSERT(t < head_.size(), "bad task id %u", t);
+        AAWS_ASSERT(!sealed_, "mutating a sealed TaskDag");
+        int32_t tl = tail_[t];
+        if (tl >= 0 && pool_[tl].op.kind == OpKind::work) {
+            pool_[tl].op.arg += instructions;
+            dirty_ = true;
+            return;
+        }
+        appendOp(t, {OpKind::work, instructions});
+    }
 
     /** Append a spawn of `child` to task `t`. */
-    void addSpawn(uint32_t t, uint32_t child);
+    void
+    addSpawn(uint32_t t, uint32_t child)
+    {
+        AAWS_ASSERT(t < head_.size() && child < head_.size(),
+                    "bad spawn %u -> %u", t, child);
+        AAWS_ASSERT(child != t, "task %u cannot spawn itself", t);
+        appendOp(t, {OpKind::spawn, child});
+    }
 
     /** Append an inline call of `child` to task `t`. */
-    void addCall(uint32_t t, uint32_t child);
+    void
+    addCall(uint32_t t, uint32_t child)
+    {
+        AAWS_ASSERT(t < head_.size() && child < head_.size(),
+                    "bad call %u -> %u", t, child);
+        AAWS_ASSERT(child != t, "task %u cannot call itself", t);
+        appendOp(t, {OpKind::call, child});
+    }
 
     /** Append a sync (join with all children spawned so far) to `t`. */
-    void addSync(uint32_t t);
+    void
+    addSync(uint32_t t)
+    {
+        AAWS_ASSERT(t < head_.size(), "bad task id %u", t);
+        appendOp(t, {OpKind::sync, 0});
+    }
 
     /** Append a phase. Pass root = -1 for a pure serial phase. */
     void addPhase(uint64_t serial_work, int32_t root);
 
-    const std::vector<Task> &tasks() const { return tasks_; }
     const std::vector<Phase> &phases() const { return phases_; }
 
-    const Task &task(uint32_t t) const { return tasks_[t]; }
-
     /** Number of tasks (the paper's "Num Tasks" counts spawned tasks). */
-    size_t numTasks() const { return tasks_.size(); }
+    size_t numTasks() const { return num_tasks_; }
+
+    /** Number of ops in task `t`'s program. */
+    size_t
+    opCount(uint32_t t) const
+    {
+        ensurePacked();
+        return op_begin_[t + 1] - op_begin_[t];
+    }
+
+    /** Pointer to task `t`'s packed op program (opCount(t) entries). */
+    const TaskOp *
+    ops(uint32_t t) const
+    {
+        ensurePacked();
+        return packed_ops_.data() + op_begin_[t];
+    }
+
+    /** Flat packed op array for all tasks (see opSpans()). */
+    const TaskOp *
+    packedOps() const
+    {
+        ensurePacked();
+        return packed_ops_.data();
+    }
+
+    /**
+     * Per-task span offsets into packedOps(): task t's program is
+     * [spans[t], spans[t+1]).  The array has numTasks()+1 entries.
+     */
+    const uint32_t *
+    opSpans() const
+    {
+        ensurePacked();
+        return op_begin_.data();
+    }
+
+    /**
+     * Freeze the DAG: build the packed view, release the build arena,
+     * and reject further mutation.  Sealing is what makes one TaskDag
+     * safely shareable across concurrently running simulations.
+     */
+    void seal();
 
     /** Total body work across all tasks, in instructions. */
     uint64_t totalTaskWork() const;
@@ -114,11 +200,44 @@ class TaskDag
     void validate() const;
 
   private:
+    /** Arena node: one op in a task's linked program chain. */
+    struct OpNode
+    {
+        TaskOp op;
+        int32_t next;
+    };
+
+    void
+    appendOp(uint32_t t, TaskOp op)
+    {
+        AAWS_ASSERT(!sealed_, "mutating a sealed TaskDag");
+        int32_t node = static_cast<int32_t>(pool_.size());
+        pool_.push_back({op, -1});
+        if (tail_[t] >= 0)
+            pool_[tail_[t]].next = node;
+        else
+            head_[t] = node;
+        tail_[t] = node;
+        dirty_ = true;
+    }
+
+    void ensurePacked() const;
+
     uint64_t criticalPathOf(uint32_t t,
                             std::vector<uint64_t> &memo) const;
 
-    std::vector<Task> tasks_;
+    // Build representation: shared op arena + per-task chain ends.
+    std::vector<OpNode> pool_;
+    std::vector<int32_t> head_;
+    std::vector<int32_t> tail_;
     std::vector<Phase> phases_;
+    size_t num_tasks_ = 0;
+    bool sealed_ = false;
+
+    // Packed read view, (re)built lazily from the arena.
+    mutable std::vector<TaskOp> packed_ops_;
+    mutable std::vector<uint32_t> op_begin_;
+    mutable bool dirty_ = true;
 };
 
 } // namespace aaws

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Indexed event queue for the discrete-event simulator.
+ *
+ * The simulator has a small, fixed population of event *sources* (one
+ * pending-op slot per core, one transition slot per core, one
+ * controller slot), and every source has at most one live event at a
+ * time: rescheduling a source replaces its previous event.  A general
+ * priority queue with lazy deletion therefore wastes most of its work
+ * churning stale entries.  This structure instead keys events by slot
+ * and keeps an indexed 4-ary min-heap over the *active* slots only, so
+ * reschedule is an in-place sift and cancel is an O(log n) removal --
+ * no stale events ever exist.
+ *
+ * Ordering is identical to the old `std::priority_queue<Event>` scheme:
+ * events pop in (tick, seq) lexicographic order, where `seq` is the
+ * caller-supplied monotone sequence number that breaks same-tick ties
+ * deterministically (earlier schedule pops first).
+ */
+
+#ifndef AAWS_SIM_EVENT_QUEUE_H
+#define AAWS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/ticks.h"
+
+namespace aaws {
+
+/**
+ * Min-heap of at most one pending event per slot, ordered by
+ * (tick, seq).  Slots are dense integers in [0, slots).
+ */
+class IndexedEventQueue
+{
+  public:
+    explicit IndexedEventQueue(int slots)
+        : keys_(static_cast<size_t>(slots)),
+          pos_(static_cast<size_t>(slots), -1)
+    {
+        heap_.reserve(static_cast<size_t>(slots));
+    }
+
+    /**
+     * Arm `slot` to fire at `tick`.  If the slot already has a live
+     * event it is rescheduled in place (the old event is replaced).
+     * `seq` must come from a monotonically increasing counter shared by
+     * all schedule calls; it breaks same-tick ties.
+     */
+    void
+    schedule(int slot, Tick tick, uint64_t seq)
+    {
+        keys_[slot] = {tick, seq};
+        int32_t p = pos_[slot];
+        if (p < 0) {
+            p = static_cast<int32_t>(heap_.size());
+            heap_.push_back(slot);
+            pos_[slot] = p;
+            siftUp(p);
+        } else {
+            // In-place reschedule: the new key may sort either way.
+            siftUp(p);
+            siftDown(pos_[slot]);
+        }
+    }
+
+    /** Disarm `slot`; no-op if it has no live event. */
+    void
+    cancel(int slot)
+    {
+        int32_t p = pos_[slot];
+        if (p < 0)
+            return;
+        removeAt(p);
+    }
+
+    /** Does `slot` have a live event? */
+    bool active(int slot) const { return pos_[slot] >= 0; }
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Slot of the earliest event; queue must be non-empty. */
+    int topSlot() const { return heap_[0]; }
+
+    /** Tick of the earliest event; queue must be non-empty. */
+    Tick topTick() const { return keys_[heap_[0]].tick; }
+
+    /** Remove and return the slot of the earliest event. */
+    int
+    pop()
+    {
+        AAWS_ASSERT(!heap_.empty(), "pop from empty event queue");
+        int slot = heap_[0];
+        removeAt(0);
+        return slot;
+    }
+
+  private:
+    struct Key
+    {
+        Tick tick = 0;
+        uint64_t seq = 0;
+        bool
+        operator<(const Key &o) const
+        {
+            return tick != o.tick ? tick < o.tick : seq < o.seq;
+        }
+    };
+
+    void
+    removeAt(int32_t p)
+    {
+        int slot = heap_[p];
+        pos_[slot] = -1;
+        int32_t last = static_cast<int32_t>(heap_.size()) - 1;
+        if (p != last) {
+            int moved = heap_[last];
+            heap_[p] = moved;
+            pos_[moved] = p;
+            heap_.pop_back();
+            siftUp(p);
+            siftDown(pos_[moved]);
+        } else {
+            heap_.pop_back();
+        }
+    }
+
+    void
+    siftUp(int32_t p)
+    {
+        int slot = heap_[p];
+        const Key &key = keys_[slot];
+        while (p > 0) {
+            int32_t parent = (p - 1) >> 2;
+            if (!(key < keys_[heap_[parent]]))
+                break;
+            heap_[p] = heap_[parent];
+            pos_[heap_[p]] = p;
+            p = parent;
+        }
+        heap_[p] = slot;
+        pos_[slot] = p;
+    }
+
+    void
+    siftDown(int32_t p)
+    {
+        int slot = heap_[p];
+        const Key &key = keys_[slot];
+        int32_t n = static_cast<int32_t>(heap_.size());
+        while (true) {
+            int32_t first = (p << 2) + 1;
+            if (first >= n)
+                break;
+            int32_t best = first;
+            int32_t end = first + 4 < n ? first + 4 : n;
+            for (int32_t c = first + 1; c < end; ++c) {
+                if (keys_[heap_[c]] < keys_[heap_[best]])
+                    best = c;
+            }
+            if (!(keys_[heap_[best]] < key))
+                break;
+            heap_[p] = heap_[best];
+            pos_[heap_[p]] = p;
+            p = best;
+        }
+        heap_[p] = slot;
+        pos_[slot] = p;
+    }
+
+    std::vector<Key> keys_;    ///< Per-slot key (valid while active).
+    std::vector<int32_t> pos_; ///< Per-slot heap position, -1 = inactive.
+    std::vector<int> heap_;    ///< Heap of active slots.
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_EVENT_QUEUE_H

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/logging.h"
 
@@ -18,6 +21,36 @@ coreTypesOf(const MachineConfig &config)
     for (int i = 0; i < config.n_little; ++i)
         types.push_back(CoreType::little);
     return types;
+}
+
+/**
+ * Process-wide cache of generated DVFS lookup tables.
+ *
+ * Table generation runs the marginal-utility optimizer over every
+ * (active-big, active-little) entry and is by far the most expensive
+ * part of Machine construction; the result depends only on the designer
+ * model parameters and the machine shape, so identical configurations
+ * (every simulation of a sweep) can share one immutable table.
+ */
+std::shared_ptr<const DvfsLookupTable>
+sharedDvfsTable(const ModelParams &mp, int n_big, int n_little)
+{
+    using TableKey = std::tuple<double, double, double, double, double,
+                                double, double, double, double, double,
+                                double, double, int, int>;
+    TableKey key{mp.k1, mp.k2, mp.v_nom, mp.v_min, mp.v_max, mp.alpha,
+                 mp.beta, mp.ipc_little, mp.alpha_little, mp.lambda,
+                 mp.gamma, mp.waiting_activity, n_big, n_little};
+    static std::mutex mutex;
+    static std::map<TableKey, std::shared_ptr<const DvfsLookupTable>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    std::shared_ptr<const DvfsLookupTable> &slot = cache[key];
+    if (!slot) {
+        slot = std::make_shared<const DvfsLookupTable>(
+            FirstOrderModel(mp), n_big, n_little);
+    }
+    return slot;
 }
 
 } // namespace
@@ -42,24 +75,29 @@ MachineConfig::system1B7L()
 
 Machine::Machine(const MachineConfig &config, const TaskDag &dag)
     : config_(config), dag_(dag), app_model_(config.app_params),
-      table_model_(config.table_params),
-      table_(config.table_override
-                 ? *config.table_override
-                 : DvfsLookupTable(table_model_, config.n_big,
-                                   config.n_little)),
-      controller_(table_, config.policy, coreTypesOf(config),
+      table_shared_(config.table_override
+                        ? nullptr
+                        : sharedDvfsTable(config.table_params,
+                                          config.n_big, config.n_little)),
+      controller_(config.table_override ? *config.table_override
+                                        : *table_shared_,
+                  config.policy, coreTypesOf(config),
                   config.table_params),
       regulator_(config.regulator_ns_per_step,
                  config.regulator_volts_per_step),
       energy_(app_model_, coreTypesOf(config)),
-      regions_(config.n_big, config.n_little)
+      regions_(config.n_big, config.n_little),
+      num_cores_(config.numCores()),
+      events_(2 * config.numCores() + 1)
 {
     AAWS_ASSERT(!dag_.phases().empty(), "kernel has no phases");
-    int n = config_.numCores();
+    int n = num_cores_;
     AAWS_ASSERT(n >= 1 && n <= 64, "unsupported core count %d", n);
     cores_.resize(n);
     workers_.resize(n);
     worker_core_.resize(n);
+    dag_ops_ = dag_.packedOps();
+    dag_op_begin_ = dag_.opSpans();
     double v_nom = config_.app_params.v_nom;
     for (int c = 0; c < n; ++c) {
         cores_[c].type = c < config_.n_big ? CoreType::big
@@ -68,13 +106,17 @@ Machine::Machine(const MachineConfig &config, const TaskDag &dag)
         cores_[c].v_now = v_nom;
         cores_[c].v_goal = v_nom;
         cores_[c].freq = app_model_.freq(v_nom);
+        refreshRate(cores_[c]);
         worker_core_[c] = static_cast<int16_t>(c);
     }
     occupancy_seconds_.assign(
         static_cast<size_t>((config_.n_big + 1) * (config_.n_little + 1)),
         0.0);
-    if (config_.collect_trace)
+    hints_buf_.resize(static_cast<size_t>(n));
+    if (config_.collect_trace) {
         result_.trace.enable();
+        trace_enabled_ = true;
+    }
 }
 
 Machine::~Machine() = default;
@@ -115,9 +157,16 @@ double
 Machine::instrRate(const Core &core) const
 {
     // Shared-memory contention degrades every active core's effective
-    // IPC as more cores are active (see MachineConfig::mpki).
-    return config_.app_params.ipc(core.type) * core.freq /
-           contention_factor_;
+    // IPC as more cores are active (see MachineConfig::mpki); the value
+    // is cached per core and refreshed on frequency/contention change.
+    return core.instr_rate;
+}
+
+void
+Machine::refreshRate(Core &core)
+{
+    core.instr_rate = config_.app_params.ipc(core.type) * core.freq /
+                      contention_factor_;
 }
 
 double
@@ -149,8 +198,7 @@ Machine::schedule(int c, double delay_seconds)
     Core &core = cores_[c];
     core.last_update = now_;
     Tick when = now_ + std::max<Tick>(1, secondsToTicks(delay_seconds));
-    events_.push({when, seq_++, static_cast<int16_t>(c), core.epoch,
-                  EvKind::core_op});
+    events_.schedule(opSlot(c), when, seq_++);
 }
 
 void
@@ -193,7 +241,7 @@ Machine::updateEnergy(int c)
 void
 Machine::recordTrace(int c)
 {
-    if (!result_.trace.enabled())
+    if (!trace_enabled_)
         return;
     const Core &core = cores_[c];
     TraceState ts;
@@ -221,16 +269,10 @@ Machine::recordTrace(int c)
 void
 Machine::recordCensus()
 {
-    int big_active = 0;
-    int little_active = 0;
-    for (const Core &core : cores_) {
-        bool active = core.state == CoreState::running ||
-                      core.state == CoreState::serial ||
-                      core.state == CoreState::mugging;
-        if (active) {
-            (core.type == CoreType::big ? big_active : little_active)++;
-        }
-    }
+    // The active-core counts are maintained incrementally by
+    // setCoreState (the sole mutator of Core::state).
+    int big_active = big_active_;
+    int little_active = little_active_;
     regions_.update(now(), serial_core_ >= 0, big_active, little_active);
     if (big_active != census_ba_ || little_active != census_la_) {
         occupancy_seconds_[census_ba_ * (config_.n_little + 1) +
@@ -263,11 +305,12 @@ Machine::setActiveCount(int active)
         }
     }
     contention_factor_ = factor;
+    for (Core &core : cores_)
+        refreshRate(core);
     for (size_t c = 0; c < cores_.size(); ++c) {
         Core &core = cores_[c];
         if (core.pending == Pending::work ||
             core.pending == Pending::mug_save) {
-            core.epoch++;
             schedule(static_cast<int>(c),
                      core.remaining / rateFor(core));
         }
@@ -286,11 +329,19 @@ Machine::setCoreState(int c, CoreState state)
         core.waiting_seconds += dt;
     else if (core.state != CoreState::done)
         core.busy_seconds += dt;
+    bool was_active = core.state == CoreState::running ||
+                      core.state == CoreState::serial ||
+                      core.state == CoreState::mugging;
     core.state_since = now_;
     core.state = state;
     bool active = state == CoreState::running ||
                   state == CoreState::serial ||
                   state == CoreState::mugging;
+    if (active != was_active) {
+        int delta = active ? 1 : -1;
+        (core.type == CoreType::big ? big_active_ : little_active_) +=
+            delta;
+    }
     bool hints_changed = false;
     if (active && !core.hint_active) {
         core.hint_active = true;
@@ -327,7 +378,6 @@ Machine::beginWork(int c, double instrs, After after)
     core.instr_retired += instrs;
     core.pending = Pending::work;
     core.remaining = instrs;
-    core.epoch++;
     schedule(c, instrs / instrRate(core));
 }
 
@@ -340,7 +390,6 @@ Machine::enterStealLoop(int c)
     setCoreState(c, CoreState::stealing);
     core.pending = Pending::steal;
     core.remaining = static_cast<double>(config_.costs.steal_attempt_cycles);
-    core.epoch++;
     schedule(c, core.remaining / cycleRate(core));
 }
 
@@ -397,8 +446,8 @@ Machine::advanceWorker(int c)
             }
         }
 
-        const Task &task = dag_.task(frame.task);
-        if (frame.op_idx >= task.ops.size()) {
+        const uint32_t op_end = dag_op_begin_[frame.task + 1];
+        if (dag_op_begin_[frame.task] + frame.op_idx >= op_end) {
             // Task end: implicit sync with outstanding children.
             if (frame.outstanding > 0) {
                 frame.waiting = true;
@@ -422,7 +471,8 @@ Machine::advanceWorker(int c)
             continue;
         }
 
-        const TaskOp &op = task.ops[frame.op_idx++];
+        const TaskOp &op =
+            dag_ops_[dag_op_begin_[frame.task] + frame.op_idx++];
         switch (op.kind) {
           case OpKind::work:
             instrs += static_cast<double>(op.arg);
@@ -478,7 +528,7 @@ Machine::onChildJoined(int32_t pf)
     if (core.state == CoreState::stealing &&
         core.pending == Pending::steal && !w.stack.empty() &&
         w.stack.back() == pf) {
-        core.epoch++; // cancel the in-flight steal attempt
+        events_.cancel(opSlot(owner_core)); // in-flight steal attempt
         core.pending = Pending::none;
         advanceWorker(owner_core);
     }
@@ -487,14 +537,8 @@ Machine::onChildJoined(int32_t pf)
 bool
 Machine::allBigActive() const
 {
-    for (const Core &core : cores_) {
-        if (core.type == CoreType::big &&
-            (core.state == CoreState::stealing ||
-             core.state == CoreState::done)) {
-            return false;
-        }
-    }
-    return true;
+    // A big core not counted active is stealing or done.
+    return big_active_ == config_.n_big;
 }
 
 int
@@ -553,7 +597,6 @@ Machine::onStealDone(int c)
         core.pending = Pending::steal_fetch;
         core.remaining =
             static_cast<double>(costs.steal_success_cycles);
-        core.epoch++;
         schedule(c, core.remaining / cycleRate(core));
         return;
     }
@@ -585,7 +628,6 @@ Machine::onStealDone(int c)
     core.pending = Pending::steal;
     core.remaining =
         static_cast<double>(costs.steal_attempt_cycles) * core.backoff;
-    core.epoch++;
     schedule(c, core.remaining / cycleRate(core));
 }
 
@@ -645,7 +687,6 @@ Machine::issueMug(int c, int target, bool for_phase)
     core.pending = Pending::mug_issue;
     core.remaining =
         static_cast<double>(config_.costs.mug_interrupt_cycles);
-    core.epoch++;
     schedule(c, core.remaining / cycleRate(core));
 }
 
@@ -671,7 +712,6 @@ Machine::onMugIssueDone(int c)
         workers_[muggee.worker].resume_instrs = muggee.remaining;
         workers_[muggee.worker].resume_after = muggee.after_work;
     }
-    muggee.epoch++;
     muggee.mug_peer = c;
     muggee.mug_save_done = false;
     muggee.mug_for_phase = core.mug_for_phase;
@@ -684,7 +724,6 @@ Machine::onMugIssueDone(int c)
 
     core.pending = Pending::mug_save;
     core.remaining = swap;
-    core.epoch++;
     schedule(c, swap / instrRate(core));
     result_.instructions += static_cast<uint64_t>(swap);
     core.instr_retired += swap;
@@ -792,7 +831,6 @@ Machine::startNextPhase(int c)
         core.after_work = After::phase_serial_done;
         core.pending = Pending::work;
         core.remaining = static_cast<double>(phase.serial_work);
-        core.epoch++;
         result_.instructions += phase.serial_work;
         core.instr_retired += static_cast<double>(phase.serial_work);
         schedule(c, core.remaining / instrRate(core));
@@ -838,10 +876,10 @@ Machine::onHintsChanged()
         controller_pending_ = true;
         return;
     }
-    std::vector<bool> hints(cores_.size());
     for (size_t i = 0; i < cores_.size(); ++i)
-        hints[i] = cores_[i].hint_active;
-    applyDecision(controller_.decide(hints, serial_core_));
+        hints_buf_[i] = cores_[i].hint_active;
+    controller_.decideInto(hints_buf_, serial_core_, targets_buf_);
+    applyDecision(targets_buf_);
 }
 
 void
@@ -868,14 +906,14 @@ Machine::applyDecision(const std::vector<double> &targets)
                      std::min(app_model_.freq(v_from),
                               app_model_.freq(v_to)));
         Tick end = now_ + std::max<Tick>(1, dt);
-        events_.push({end, seq_++, static_cast<int16_t>(i), 0,
-                      EvKind::transition});
+        events_.schedule(transitionSlot(static_cast<int>(i)), end,
+                         seq_++);
         latest = std::max(latest, end);
     }
     if (latest > now_) {
         controller_busy_ = true;
         controller_free_at_ = latest;
-        events_.push({latest, seq_++, -1, 0, EvKind::controller});
+        events_.schedule(controllerSlot(), latest, seq_++);
     }
 }
 
@@ -909,10 +947,9 @@ Machine::setFrequency(int c, double freq)
         return;
     settle(c); // bank progress at the old rate first
     core.freq = freq;
-    if (core.pending != Pending::none) {
-        core.epoch++;
+    refreshRate(core);
+    if (core.pending != Pending::none)
         schedule(c, core.remaining / rateFor(core));
-    }
 }
 
 // --- main loop ------------------------------------------------------------------
@@ -962,25 +999,22 @@ Machine::run()
         enterStealLoop(static_cast<int>(c));
     startNextPhase(0);
 
-    uint64_t processed = 0;
+    const int controller_slot = controllerSlot();
     while (!finished_ && !events_.empty()) {
-        Event ev = events_.top();
-        events_.pop();
-        AAWS_ASSERT(ev.tick >= now_, "time went backwards");
-        now_ = ev.tick;
-        if (++processed > config_.max_events)
+        Tick tick = events_.topTick();
+        int slot = events_.pop();
+        AAWS_ASSERT(tick >= now_, "time went backwards");
+        now_ = tick;
+        if (++result_.sim_events > config_.max_events)
             dumpStateAndPanic();
-        if (ev.kind == EvKind::controller) {
-            onControllerFree();
+        if (slot >= num_cores_) {
+            if (slot == controller_slot)
+                onControllerFree();
+            else
+                onTransitionDone(slot - num_cores_);
             continue;
         }
-        Core &core = cores_[ev.core];
-        if (ev.kind == EvKind::transition) {
-            onTransitionDone(ev.core);
-            continue;
-        }
-        if (ev.epoch != core.epoch)
-            continue; // stale
+        Core &core = cores_[slot];
         Pending p = core.pending;
         core.pending = Pending::none;
         core.remaining = 0.0;
@@ -988,10 +1022,10 @@ Machine::run()
           case Pending::work:
             switch (core.after_work) {
               case After::advance:
-                advanceWorker(ev.core);
+                advanceWorker(slot);
                 break;
               case After::phase:
-                phaseTransition(ev.core);
+                phaseTransition(slot);
                 break;
               case After::phase_serial_done: {
                 serial_core_ = -1;
@@ -1002,25 +1036,25 @@ Machine::run()
                     w.stack.push_back(
                         allocFrame(static_cast<uint32_t>(phase.root_task),
                                    -1, core.worker));
-                    advanceWorker(ev.core);
+                    advanceWorker(slot);
                 } else {
-                    startNextPhase(ev.core);
+                    startNextPhase(slot);
                 }
                 break;
               }
             }
             break;
           case Pending::steal:
-            onStealDone(ev.core);
+            onStealDone(slot);
             break;
           case Pending::steal_fetch:
-            onStealFetchDone(ev.core);
+            onStealFetchDone(slot);
             break;
           case Pending::mug_issue:
-            onMugIssueDone(ev.core);
+            onMugIssueDone(slot);
             break;
           case Pending::mug_save:
-            onMugSaveDone(ev.core);
+            onMugSaveDone(slot);
             break;
           case Pending::none:
             panic("event for core with no pending operation");

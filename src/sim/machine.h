@@ -22,7 +22,11 @@
  * state-swap code per side, a rendezvous barrier, and a cache-migration
  * penalty on the migrated task.
  *
- * Simulation is single-threaded and fully deterministic.
+ * Simulation is single-threaded and fully deterministic.  The event
+ * structure is an IndexedEventQueue with one slot per event source
+ * (core pending-op, core transition, controller), so rescheduling a
+ * core's in-flight charge is an in-place heap update instead of a stale
+ * entry plus an epoch check at pop time.
  */
 
 #ifndef AAWS_SIM_MACHINE_H
@@ -30,13 +34,13 @@
 
 #include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "dvfs/regulator.h"
 #include "energy/accountant.h"
 #include "kernels/task_dag.h"
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/region_tracker.h"
 #include "sim/result.h"
 
@@ -130,11 +134,12 @@ class Machine
         double v_goal = 1.0;      ///< Target of an in-flight transition.
         bool transitioning = false;
         double freq = 0.0;        ///< Actual clock (min rule in flight).
+        /** Cached effective instruction rate (IPC x f / contention). */
+        double instr_rate = 0.0;
         CoreState state = CoreState::stealing;
         Pending pending = Pending::none;
         double remaining = 0.0;   ///< Units per `pending`.
         Tick last_update = 0;
-        uint64_t epoch = 0;
         int failed_steals = 0;
         double backoff = 1.0;
         bool hint_active = true;
@@ -153,22 +158,6 @@ class Machine
         bool mug_for_phase = false;
     };
 
-    /** Event kinds (per-core ops, transition ends, controller wakeups). */
-    enum class EvKind : uint8_t { core_op, transition, controller };
-
-    struct Event
-    {
-        Tick tick;
-        uint64_t seq;
-        int16_t core;
-        uint64_t epoch;
-        EvKind kind;
-        bool operator>(const Event &o) const
-        {
-            return tick != o.tick ? tick > o.tick : seq > o.seq;
-        }
-    };
-
     // --- frame pool -----------------------------------------------------
 
     int32_t allocFrame(uint32_t task, int32_t parent_frame, int worker);
@@ -179,6 +168,7 @@ class Machine
     double instrRate(const Core &core) const;  ///< instructions / second
     double cycleRate(const Core &core) const;  ///< cycles / second
     double rateFor(const Core &core) const;    ///< per current pending
+    void refreshRate(Core &core);  ///< recompute the cached instr rate
     void schedule(int c, double delay_seconds);
     void settle(int c); ///< Consume elapsed progress of the pending op.
     void updateEnergy(int c);
@@ -223,13 +213,22 @@ class Machine
     void setActiveCount(int active);
     double now() const { return ticksToSeconds(now_); }
 
+    // --- event slots -------------------------------------------------------------
+
+    /** Slot of core c's pending-op event. */
+    int opSlot(int c) const { return c; }
+    /** Slot of core c's transition-end event. */
+    int transitionSlot(int c) const { return num_cores_ + c; }
+    /** Slot of the controller-free event. */
+    int controllerSlot() const { return 2 * num_cores_; }
+
     // --- members -----------------------------------------------------------------
 
     const MachineConfig &config_;
     const TaskDag &dag_;
     FirstOrderModel app_model_;
-    FirstOrderModel table_model_;
-    DvfsLookupTable table_;
+    /** Process-wide shared DVFS table (null when config overrides it). */
+    std::shared_ptr<const DvfsLookupTable> table_shared_;
     DvfsController controller_;
     RegulatorModel regulator_;
     EnergyAccountant energy_;
@@ -241,10 +240,14 @@ class Machine
     std::vector<Frame> frames_;
     std::vector<int32_t> free_frames_;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    int num_cores_ = 0;
+    IndexedEventQueue events_;
     Tick now_ = 0;
     uint64_t seq_ = 0;
+
+    // Packed DAG op view (flat array + per-task span offsets).
+    const TaskOp *dag_ops_ = nullptr;
+    const uint32_t *dag_op_begin_ = nullptr;
 
     // Program state.
     size_t phase_idx_ = 0;
@@ -259,14 +262,21 @@ class Machine
 
     SimResult result_;
     bool ran_ = false;
+    bool trace_enabled_ = false;
     uint64_t victim_rng_ = 0x9E3779B97F4A7C15ull;
     int active_count_ = 0;
     double contention_factor_ = 1.0;
+    // Incremental activity census (running | serial | mugging cores).
+    int big_active_ = 0;
+    int little_active_ = 0;
     // Occupancy-time accounting for the adaptive controller.
     int census_ba_ = 0;
     int census_la_ = 0;
     Tick census_since_ = 0;
     std::vector<double> occupancy_seconds_;
+    // Reused decision buffers (avoid per-census allocation).
+    std::vector<bool> hints_buf_;
+    std::vector<double> targets_buf_;
 };
 
 } // namespace aaws

@@ -78,6 +78,12 @@ struct SimResult
     uint64_t transitions = 0;
     /** Tasks executed. */
     uint64_t tasks_executed = 0;
+    /**
+     * Discrete events processed by the simulator's main loop.  Purely a
+     * cost/regression metric (events/sec throughput, pinned per-kernel
+     * event counts); does not affect any simulated quantity.
+     */
+    uint64_t sim_events = 0;
     /** Per-core activity and energy statistics. */
     std::vector<CoreStats> core_stats;
     /**

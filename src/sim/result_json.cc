@@ -72,6 +72,7 @@ simResultToJson(const SimResult &result)
     appendField(out, "aborted_mugs", u64(result.aborted_mugs));
     appendField(out, "transitions", u64(result.transitions));
     appendField(out, "tasks_executed", u64(result.tasks_executed));
+    appendField(out, "sim_events", u64(result.sim_events));
 
     std::string cores = "[";
     for (size_t i = 0; i < result.core_stats.size(); ++i) {
@@ -157,7 +158,8 @@ simResultFromJson(const json::Value &value, SimResult &out)
         !readU64(value, "mugs", out.mugs) ||
         !readU64(value, "aborted_mugs", out.aborted_mugs) ||
         !readU64(value, "transitions", out.transitions) ||
-        !readU64(value, "tasks_executed", out.tasks_executed))
+        !readU64(value, "tasks_executed", out.tasks_executed) ||
+        !readU64(value, "sim_events", out.sim_events))
         return false;
 
     const json::Value *cores = value.find("core_stats");

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests of the indexed event queue against a reference model of the old
+ * lazy-deletion priority queue: same (tick, seq) pop order, including
+ * same-tick ties, in-place reschedules in both directions, and cancels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace aaws {
+namespace {
+
+/**
+ * The simulator's previous scheme: a std::priority_queue with per-slot
+ * epochs and lazy deletion.  Rescheduling or cancelling bumps the
+ * slot's epoch; stale entries are discarded at pop time.  Pop order of
+ * *live* events is the contract the indexed queue must reproduce.
+ */
+class LazyDeletionModel
+{
+  public:
+    explicit LazyDeletionModel(int slots) : epoch_(slots, 0) {}
+
+    void
+    schedule(int slot, Tick tick, uint64_t seq)
+    {
+        ++epoch_[slot];
+        queue_.push({tick, seq, slot, epoch_[slot]});
+    }
+
+    void cancel(int slot) { ++epoch_[slot]; }
+
+    bool
+    empty()
+    {
+        skipStale();
+        return queue_.empty();
+    }
+
+    /** Pop the earliest live event; returns its slot. */
+    int
+    pop(Tick &tick_out)
+    {
+        skipStale();
+        Entry top = queue_.top();
+        queue_.pop();
+        ++epoch_[top.slot];
+        tick_out = top.tick;
+        return top.slot;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick tick;
+        uint64_t seq;
+        int slot;
+        uint64_t epoch;
+        // Min-first via operator> (priority_queue is max-first).
+        bool
+        operator>(const Entry &o) const
+        {
+            return tick != o.tick ? tick > o.tick : seq > o.seq;
+        }
+    };
+
+    void
+    skipStale()
+    {
+        while (!queue_.empty() &&
+               queue_.top().epoch != epoch_[queue_.top().slot])
+            queue_.pop();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        queue_;
+    std::vector<uint64_t> epoch_;
+};
+
+/** Deterministic xorshift64 so failures reproduce exactly. */
+uint64_t
+nextRand(uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+TEST(EventQueue, PopsInTickOrder)
+{
+    IndexedEventQueue queue(4);
+    uint64_t seq = 0;
+    queue.schedule(0, 30, seq++);
+    queue.schedule(1, 10, seq++);
+    queue.schedule(2, 20, seq++);
+    EXPECT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.topTick(), 10u);
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), 0);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, SameTickTiesBreakBySequence)
+{
+    IndexedEventQueue queue(4);
+    // Scheduled in slot order 2, 0, 3, 1 -- all at tick 100.  Earlier
+    // schedule (lower seq) must pop first, regardless of slot index.
+    uint64_t seq = 0;
+    for (int slot : {2, 0, 3, 1})
+        queue.schedule(slot, 100, seq++);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), 0);
+    EXPECT_EQ(queue.pop(), 3);
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(EventQueue, RescheduleMovesEventEarlier)
+{
+    IndexedEventQueue queue(2);
+    uint64_t seq = 0;
+    queue.schedule(0, 50, seq++);
+    queue.schedule(1, 100, seq++);
+    queue.schedule(1, 10, seq++); // in-place, now earliest
+    EXPECT_EQ(queue.size(), 2u) << "reschedule must not grow the queue";
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 0);
+}
+
+TEST(EventQueue, RescheduleMovesEventLater)
+{
+    IndexedEventQueue queue(2);
+    uint64_t seq = 0;
+    queue.schedule(0, 50, seq++);
+    queue.schedule(1, 10, seq++);
+    queue.schedule(1, 100, seq++); // in-place, now latest
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop(), 0);
+    EXPECT_EQ(queue.pop(), 1);
+}
+
+TEST(EventQueue, RescheduleAtSameTickLosesTieToOlderEvents)
+{
+    IndexedEventQueue queue(2);
+    uint64_t seq = 0;
+    queue.schedule(0, 100, seq++);
+    queue.schedule(1, 100, seq++);
+    queue.schedule(0, 100, seq++); // re-arm slot 0: fresher seq
+    EXPECT_EQ(queue.pop(), 1) << "re-armed event must lose the tie";
+    EXPECT_EQ(queue.pop(), 0);
+}
+
+TEST(EventQueue, CancelRemovesLiveEvent)
+{
+    IndexedEventQueue queue(3);
+    uint64_t seq = 0;
+    queue.schedule(0, 10, seq++);
+    queue.schedule(1, 20, seq++);
+    queue.schedule(2, 30, seq++);
+    EXPECT_TRUE(queue.active(1));
+    queue.cancel(1);
+    EXPECT_FALSE(queue.active(1));
+    EXPECT_EQ(queue.size(), 2u);
+    queue.cancel(1); // idempotent
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop(), 0);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelTopThenPopSkipsIt)
+{
+    IndexedEventQueue queue(2);
+    uint64_t seq = 0;
+    queue.schedule(0, 10, seq++);
+    queue.schedule(1, 20, seq++);
+    queue.cancel(0);
+    EXPECT_EQ(queue.topTick(), 20u);
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RandomScheduleMatchesLazyDeletionModel)
+{
+    // Drive both implementations with an identical random mix of
+    // schedules, reschedules, cancels, and pops (heavy on same-tick
+    // collisions) and require identical pop sequences.
+    constexpr int kSlots = 33;
+    constexpr int kOps = 200000;
+    IndexedEventQueue queue(kSlots);
+    LazyDeletionModel model(kSlots);
+    uint64_t seq = 0;
+    uint64_t rng = 0x1234'5678'9ABC'DEF0ull;
+    Tick now = 0;
+
+    for (int i = 0; i < kOps; ++i) {
+        uint64_t roll = nextRand(rng) % 100;
+        int slot = static_cast<int>(nextRand(rng) % kSlots);
+        if (roll < 55) {
+            // Coarse tick quantization forces frequent seq tie-breaks.
+            Tick tick = now + 1 + nextRand(rng) % 8;
+            queue.schedule(slot, tick, seq);
+            model.schedule(slot, tick, seq);
+            ++seq;
+        } else if (roll < 70) {
+            queue.cancel(slot);
+            model.cancel(slot);
+            ASSERT_FALSE(queue.active(slot));
+        } else {
+            ASSERT_EQ(queue.empty(), model.empty()) << "op " << i;
+            if (queue.empty())
+                continue;
+            Tick expect_tick = 0;
+            int expect_slot = model.pop(expect_tick);
+            ASSERT_EQ(queue.topTick(), expect_tick) << "op " << i;
+            ASSERT_EQ(queue.pop(), expect_slot) << "op " << i;
+            now = expect_tick;
+        }
+    }
+
+    // Drain both completely.
+    while (!model.empty()) {
+        ASSERT_FALSE(queue.empty());
+        Tick expect_tick = 0;
+        int expect_slot = model.pop(expect_tick);
+        EXPECT_EQ(queue.topTick(), expect_tick);
+        EXPECT_EQ(queue.pop(), expect_slot);
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+} // namespace
+} // namespace aaws

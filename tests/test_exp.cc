@@ -254,11 +254,101 @@ TEST(BenchCli, ParseReadsSharedFlags)
     EXPECT_FALSE(cli.engine.progress);
 }
 
+TEST(BenchCli, ParseClampsNonPositiveJobsToAuto)
+{
+    // 0 and negatives mean "auto" (hardware concurrency via the
+    // engine), not an error: sweep drivers pass --jobs straight
+    // through from environment math that can go non-positive.
+    {
+        const char *argv[] = {"bench", "--jobs=0"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_EQ(cli.engine.jobs, 0);
+    }
+    {
+        const char *argv[] = {"bench", "--jobs=-4"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_EQ(cli.engine.jobs, 0);
+    }
+}
+
+TEST(BenchCli, ParseReadsPerfFlags)
+{
+    const char *argv[] = {"some/dir/bench_name", "--time",
+                          "--bench-json=/tmp/perf.json"};
+    exp::BenchCli cli;
+    cli.parse(3, const_cast<char **>(argv));
+    EXPECT_TRUE(cli.engine.time_report);
+    EXPECT_EQ(cli.engine.bench_json, "/tmp/perf.json");
+    EXPECT_EQ(cli.engine.bench_name, "bench_name")
+        << "bench name is argv[0]'s basename";
+}
+
 TEST(Engine, ResolveJobsClampsToBatchSize)
 {
     EXPECT_EQ(exp::resolveJobs(8, 3), 3);
     EXPECT_EQ(exp::resolveJobs(2, 100), 2);
     EXPECT_GE(exp::resolveJobs(0, 100), 1);
+}
+
+TEST(Engine, BatchStatsCountSimEvents)
+{
+    fs::path dir = scratchDir("engine_sim_events");
+    exp::EngineOptions options;
+    options.jobs = 1;
+    options.cache_dir = dir.string();
+    options.progress = false;
+    // Distinct specs: a duplicate would hit the cache mid-batch.
+    exp::RunSpec other = sampleSpec();
+    other.variant = Variant::base;
+    std::vector<exp::RunSpec> specs = {sampleSpec(), other};
+
+    // Cold: both specs execute; events accumulate over executed sims.
+    exp::BatchStats cold;
+    std::vector<RunResult> results = exp::runBatch(specs, options, &cold);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(cold.misses, 2u);
+    EXPECT_EQ(cold.sim_events,
+              results[0].sim.sim_events + results[1].sim.sim_events);
+    EXPECT_GT(cold.sim_events, 0u);
+
+    // Warm: all hits, nothing simulated, so no events counted.
+    exp::BatchStats warm;
+    exp::runBatch(specs, options, &warm);
+    EXPECT_EQ(warm.hits, 2u);
+    EXPECT_EQ(warm.sim_events, 0u);
+}
+
+TEST(Engine, BenchJsonRecordIsWritten)
+{
+    fs::path dir = scratchDir("engine_bench_json");
+    fs::path record = dir / "BENCH_sim.json";
+    exp::EngineOptions options;
+    options.jobs = 1;
+    options.use_cache = false;
+    options.progress = false;
+    options.bench_json = record.string();
+    options.bench_name = "unit";
+    exp::runBatch({sampleSpec()}, options);
+
+    std::ifstream in(record);
+    ASSERT_TRUE(in.good()) << "record file must exist";
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    json::Value value;
+    ASSERT_TRUE(json::parse(text, value));
+    std::string name;
+    ASSERT_TRUE(value.find("bench")->getString(name));
+    EXPECT_EQ(name, "unit");
+    uint64_t runs = 0;
+    ASSERT_TRUE(value.find("runs")->getU64(runs));
+    EXPECT_EQ(runs, 1u);
+    ASSERT_NE(value.find("sims_per_second"), nullptr);
+    ASSERT_NE(value.find("events_per_second"), nullptr);
+    uint64_t events = 0;
+    ASSERT_TRUE(value.find("sim_events")->getU64(events));
+    EXPECT_GT(events, 0u);
 }
 
 } // namespace

@@ -19,7 +19,7 @@ TEST(TaskDag, WorkCoalescesAndSums)
     uint32_t t = dag.addTask();
     dag.addWork(t, 100);
     dag.addWork(t, 50);
-    EXPECT_EQ(dag.task(t).ops.size(), 1u); // coalesced
+    EXPECT_EQ(dag.opCount(t), 1u); // coalesced
     dag.addSync(t);
     dag.addWork(t, 25);
     EXPECT_EQ(dag.totalTaskWork(), 175u);

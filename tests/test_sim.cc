@@ -551,6 +551,39 @@ TEST(RegionTrackerUnit, SerialFlagDominates)
     EXPECT_DOUBLE_EQ(tracker.breakdown().hp, 0.0);
 }
 
+TEST(SimEventCount, PinnedPerKernelRegression)
+{
+    // Per-sim discrete-event counts for three kernels, pinned exactly.
+    // These change only when the simulator's event structure changes
+    // (new event kinds, different scheduling decisions); re-measure and
+    // update deliberately, alongside the golden files, never casually.
+    struct Expectation
+    {
+        const char *kernel;
+        uint64_t events;
+    };
+    const Expectation expectations[] = {
+        {"dict", 12065},
+        {"radix-1", 7030},
+        {"qsort-1", 24786},
+    };
+    for (const Expectation &expect : expectations) {
+        RunResult run = runKernel(expect.kernel, SystemShape::s4B4L,
+                                  Variant::base_psm);
+        EXPECT_EQ(run.sim.sim_events, expect.events) << expect.kernel;
+        EXPECT_GT(run.sim.sim_events, run.sim.tasks_executed)
+            << expect.kernel;
+    }
+}
+
+TEST(SimEventCount, DeterministicAcrossRuns)
+{
+    RunResult a = runKernel("dict", SystemShape::s1B7L, Variant::base_m);
+    RunResult b = runKernel("dict", SystemShape::s1B7L, Variant::base_m);
+    EXPECT_EQ(a.sim.sim_events, b.sim.sim_events);
+    EXPECT_GT(a.sim.sim_events, 0u);
+}
+
 TEST(SimTrace, RecordsAreTimeOrdered)
 {
     MachineConfig config;

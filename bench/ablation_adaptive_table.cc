@@ -9,12 +9,15 @@
 #include <cstdio>
 
 #include "aaws/adaptive.h"
+#include "exp/cli.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     std::printf("=== Adaptive DVFS table refinement (base+psm, 4B4L) "
                 "===\n\n");
     std::printf("%-9s %9s %9s %8s %8s %8s %7s\n", "kernel", "t_static",
@@ -32,6 +35,18 @@ main()
                     100.0 * (report.static_edp / report.tuned_edp - 1.0),
                     report.tuned_power / report.static_power,
                     options.power_slack, report.accepted.size());
+        auto addPoint = [&](const char *metric, double value) {
+            cli.results.add({.series = "adaptive",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = "base+psm",
+                             .metric = metric,
+                             .value = value});
+        };
+        addPoint("edp_gain_pct",
+                 100.0 * (report.static_edp / report.tuned_edp - 1.0));
+        addPoint("power_ratio",
+                 report.tuned_power / report.static_power);
     }
     std::printf("\nEDPgain = energy-delay-product improvement of the "
                 "tuned table; power column is relative to the\n"

@@ -12,6 +12,7 @@
 
 #include "aaws/experiment.h"
 #include "common/stats.h"
+#include "exp/cli.h"
 
 using namespace aaws;
 
@@ -30,8 +31,10 @@ runWith(const Kernel &kernel,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     std::printf("=== Ablations on base+psm / 4B4L (numbers are "
                 "slowdowns vs the default design) ===\n\n");
     std::printf("%-9s %14s %12s %14s\n", "kernel", "random-victim",
@@ -52,10 +55,24 @@ main()
         rv.push_back(random_victim / base);
         nb.push_back(no_biasing / base);
         ns.push_back(no_serial / base);
+        auto addSlowdown = [&](const char *metric, double value) {
+            cli.results.add({.series = "slowdown",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = "base+psm",
+                             .metric = metric,
+                             .value = value});
+        };
+        addSlowdown("random_victim", random_victim / base);
+        addSlowdown("no_biasing", no_biasing / base);
+        addSlowdown("no_serial_sprint", no_serial / base);
         std::printf("%-9s %13.3fx %11.3fx %13.3fx\n", name.c_str(),
                     random_victim / base, no_biasing / base,
                     no_serial / base);
     }
+    cli.results.add("summary", "median_random_victim", median(rv));
+    cli.results.add("summary", "median_no_biasing", median(nb));
+    cli.results.add("summary", "median_no_serial_sprint", median(ns));
     std::printf("\nmedians: random-victim %.3fx, no-biasing %.3fx, "
                 "no-serial-sprint %.3fx\n", median(rv), median(nb),
                 median(ns));

@@ -13,13 +13,16 @@
 
 #include "common/stats.h"
 #include "energy/instr_mix.h"
+#include "exp/cli.h"
 #include "kernels/table3.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     EventEnergyTable table;
     std::printf("=== Component-level energy model vs Table III ERatio "
                 "===\n\n");
@@ -32,9 +35,14 @@ main()
         double big = energyPerInstrPj(table, CoreType::big, mix);
         double alpha = big / little;
         errors.push_back(alpha / row.alpha);
+        cli.results.add({.series = "alpha_agreement",
+                         .kernel = row.name,
+                         .metric = "ratio",
+                         .value = alpha / row.alpha});
         std::printf("%-9s %12.1f %12.1f %10.2f %10.2f\n", row.name,
                     little, big, alpha, row.alpha);
     }
+    cli.results.add("alpha_agreement", "median_ratio", median(errors));
     std::printf("\ncomponent-alpha / table3-alpha: median %.2f "
                 "(1.0 = perfect agreement), range %.2f..%.2f\n",
                 median(errors), minOf(errors), maxOf(errors));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "aaws/experiment.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "exp/cli.h"
 #include "exp/engine.h"
@@ -55,20 +56,33 @@ main(int argc, char **argv)
     std::printf("\n");
     size_t idx = 0;
     for (const auto &shape : shapes) {
-        std::printf("%dB%dL   ", shape[0], shape[1]);
+        std::string shape_name = strfmt("%dB%dL", shape[0], shape[1]);
+        std::printf("%-7s", shape_name.c_str());
         for (size_t k = 0; k < names.size(); ++k) {
             const SimResult &b = results[idx++].sim;
             const SimResult &a = results[idx++].sim;
-            double speedup = b.exec_seconds / a.exec_seconds;
-            double eff = (b.energy / a.energy) * speedup /
-                         (b.exec_seconds / a.exec_seconds);
+            double speedup = speedupOver(b, a);
+            double eff = efficiencyGain(b, a);
             std::printf("  %5.2fx/%5.2fe", speedup, eff);
+            cli.results.add({.series = "vs_base",
+                             .kernel = names[k],
+                             .shape = shape_name,
+                             .variant = "base+psm",
+                             .metric = "speedup",
+                             .value = speedup});
+            cli.results.add({.series = "vs_base",
+                             .kernel = names[k],
+                             .shape = shape_name,
+                             .variant = "base+psm",
+                             .metric = "efficiency_gain",
+                             .value = eff});
         }
         std::printf("\n");
     }
-    std::printf("\ncells are speedup / energy-efficiency gain of full "
-                "AAWS over the baseline on each machine shape;\n"
-                "the DVFS lookup table is regenerated per shape "
+    std::printf("\ncells are speedup / perf-per-joule gain "
+                "(speedup x E_base/E_psm) of full AAWS over the\n"
+                "baseline on each machine shape; the DVFS lookup table "
+                "is regenerated per shape\n"
                 "((N_B+1)x(N_L+1) entries).\n");
     return 0;
 }

@@ -11,12 +11,15 @@
 #include <cstdio>
 
 #include "aaws/experiment.h"
+#include "exp/cli.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     std::printf("=== Figure 1: activity profile, hull on 4B4L (base) "
                 "===\n\n");
     Kernel kernel = makeKernel("hull");
@@ -36,6 +39,22 @@ main()
                 100.0 * (regions.lp_bi_lt_la + regions.lp_bi_ge_la +
                          regions.lp_other) /
                     regions.total());
+    auto addRegion = [&](const char *metric, double value) {
+        cli.results.add({.series = "regions",
+                         .kernel = "hull",
+                         .shape = "4B4L",
+                         .variant = "base",
+                         .metric = metric,
+                         .value = value});
+    };
+    addRegion("exec_ms", result.sim.exec_seconds * 1e3);
+    addRegion("serial_pct", 100.0 * regions.serial / regions.total());
+    addRegion("hp_pct", 100.0 * regions.hp / regions.total());
+    addRegion("lp_pct",
+              100.0 *
+                  (regions.lp_bi_lt_la + regions.lp_bi_ge_la +
+                   regions.lp_other) /
+                  regions.total());
     std::printf("\ncores 0-3 are big (B0-B3), cores 4-7 are little "
                 "(L0-L3); '#'=task, ' '=steal loop, 'S'=serial\n");
     return 0;

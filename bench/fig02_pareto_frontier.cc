@@ -8,13 +8,16 @@
 
 #include <cstdio>
 
+#include "exp/cli.h"
 #include "model/pareto.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     std::printf("=== Figure 2: pareto frontier, 4B4L all busy "
                 "(alpha=3, beta=2) ===\n\n");
     FirstOrderModel model;
@@ -28,6 +31,11 @@ main()
                     s.pareto_optimal ? 1 : 0);
     }
     const ParetoSample &best = sweep.best_isopower;
+    cli.results.add("best_isopower", "v_big", best.v_big);
+    cli.results.add("best_isopower", "v_little", best.v_little);
+    cli.results.add("best_isopower", "perf", best.perf);
+    cli.results.add("best_isopower", "efficiency", best.efficiency);
+    cli.results.add("best_isopower", "power", best.power);
     std::printf("\nbest isopower point (open circle): V_B=%.3f V "
                 "V_L=%.3f V perf=%.3fx eff=%.3fx power=%.3fx\n",
                 best.v_big, best.v_little, best.perf, best.efficiency,

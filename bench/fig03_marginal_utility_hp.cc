@@ -8,13 +8,16 @@
 
 #include <cstdio>
 
+#include "exp/cli.h"
 #include "model/optimizer.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     FirstOrderModel model;
     MarginalUtilityOptimizer opt(model);
 
@@ -51,6 +54,16 @@ main()
 
     OperatingPoint star = opt.solve(hp, target, /*feasible=*/false);
     OperatingPoint dot = opt.solve(hp, target, /*feasible=*/true);
+    cli.results.add("hp_operating_point", "optimal_v_big", star.v_big);
+    cli.results.add("hp_operating_point", "optimal_v_little",
+                    star.v_little);
+    cli.results.add("hp_operating_point", "optimal_speedup",
+                    star.speedup);
+    cli.results.add("hp_operating_point", "feasible_v_big", dot.v_big);
+    cli.results.add("hp_operating_point", "feasible_v_little",
+                    dot.v_little);
+    cli.results.add("hp_operating_point", "feasible_speedup",
+                    dot.speedup);
     std::printf("\noptimal  (star): V_B=%.2f V V_L=%.2f V speedup=%.2fx"
                 "   [paper: 0.86 / 1.44 / 1.12]\n",
                 star.v_big, star.v_little, star.speedup);

@@ -6,9 +6,11 @@
  * within [V_min, V_max].
  */
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "exp/cli.h"
 #include "model/surface.h"
 
 using namespace aaws;
@@ -37,14 +39,28 @@ printGrid(const std::vector<SurfaceCell> &cells, int beta_cells,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     ModelParams base;
     CoreActivity busy{4, 4, 0, 0};
     constexpr int kAlphaSteps = 8;
     constexpr int kBetaSteps = 6;
     auto cells = speedupSurface(base, busy, 1.0, 5.0, kAlphaSteps, 1.0,
                                 4.0, kBetaSteps);
+
+    // The designer point (alpha=3, beta=2) anchors the paper's "~1.10x
+    // feasible speedup" claim; export it for repro_check.
+    for (const SurfaceCell &cell : cells) {
+        if (std::abs(cell.alpha - 3.0) < 1e-9 &&
+            std::abs(cell.beta - 2.0) < 1e-9) {
+            cli.results.add("designer_point", "optimal_speedup",
+                            cell.optimal_speedup);
+            cli.results.add("designer_point", "feasible_speedup",
+                            cell.feasible_speedup);
+        }
+    }
 
     std::printf("=== Figure 4a: optimal speedup vs alpha (rows) and "
                 "beta (cols) ===\n");

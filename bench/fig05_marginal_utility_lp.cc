@@ -8,13 +8,16 @@
 
 #include <cstdio>
 
+#include "exp/cli.h"
 #include "model/optimizer.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     FirstOrderModel model;
     MarginalUtilityOptimizer opt(model);
     CoreActivity lp{2, 2, 2, 2};
@@ -40,6 +43,16 @@ main()
 
     OperatingPoint star = opt.solve(lp, target, /*feasible=*/false);
     OperatingPoint dot = opt.solve(lp, target, /*feasible=*/true);
+    cli.results.add("lp_operating_point", "optimal_v_big", star.v_big);
+    cli.results.add("lp_operating_point", "optimal_v_little",
+                    star.v_little);
+    cli.results.add("lp_operating_point", "optimal_speedup",
+                    star.speedup);
+    cli.results.add("lp_operating_point", "feasible_v_big", dot.v_big);
+    cli.results.add("lp_operating_point", "feasible_v_little",
+                    dot.v_little);
+    cli.results.add("lp_operating_point", "feasible_speedup",
+                    dot.speedup);
     std::printf("\noptimal  (star): V_B=%.2f V V_L=%.2f V speedup=%.2fx"
                 "   [paper: 1.02 / 1.70 / 1.55]\n",
                 star.v_big, star.v_little, star.speedup);
@@ -54,6 +67,12 @@ main()
     OperatingPoint l_fea = opt.solve(one_little, target, true);
     OperatingPoint b_opt = opt.solve(one_big, target, false);
     OperatingPoint b_fea = opt.solve(one_big, target, true);
+    cli.results.add("single_task", "little_optimal_v", l_opt.v_little);
+    cli.results.add("single_task", "little_speedup",
+                    l_fea.ips / model.ips(CoreType::little, 1.0));
+    cli.results.add("single_task", "big_optimal_v", b_opt.v_big);
+    cli.results.add("single_task", "big_speedup",
+                    b_fea.ips / model.ips(CoreType::little, 1.0));
     std::printf("\nsingle remaining task:\n");
     std::printf("  on little: optimal V_L=%.2f V, feasible %.2f V -> "
                 "%.2fx vs little@V_N   [paper: 2.59 / 1.3 / 1.6]\n",

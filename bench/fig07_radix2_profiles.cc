@@ -11,12 +11,15 @@
 #include <cstdio>
 
 #include "aaws/experiment.h"
+#include "exp/cli.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     Kernel kernel = makeKernel("radix-2");
     double base_seconds = 0.0;
     const Variant variants[] = {Variant::base, Variant::base_p,
@@ -32,6 +35,19 @@ main()
                                      variants[i], /*trace=*/true);
         if (i == 0)
             base_seconds = result.sim.exec_seconds;
+        cli.results.add({.series = "profile",
+                         .kernel = "radix-2",
+                         .shape = "4B4L",
+                         .variant = variantName(variants[i]),
+                         .metric = "norm_time",
+                         .value = result.sim.exec_seconds /
+                                  base_seconds});
+        cli.results.add({.series = "profile",
+                         .kernel = "radix-2",
+                         .shape = "4B4L",
+                         .variant = variantName(variants[i]),
+                         .metric = "mugs",
+                         .value = static_cast<double>(result.sim.mugs)});
         std::printf("\n%s [%s]: %.3f ms (normalized %.2f, mugs=%llu)\n",
                     labels[i], variantName(variants[i]),
                     result.sim.exec_seconds * 1e3,

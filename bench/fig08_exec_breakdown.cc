@@ -56,6 +56,12 @@ main(int argc, char **argv)
                 double speedup = base_seconds / r.exec_seconds;
                 if (v == Variant::base_psm)
                     psm_speedups.push_back(speedup);
+                cli.results.add({.series = "breakdown",
+                                 .kernel = name,
+                                 .shape = systemName(shape),
+                                 .variant = variantName(v),
+                                 .metric = "speedup",
+                                 .value = speedup});
                 std::printf(
                     "%-9s %-9s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f "
                     "%8.2fx\n",
@@ -64,6 +70,21 @@ main(int argc, char **argv)
                     r.exec_seconds / base_seconds, speedup);
             }
         }
+        cli.results.add({.series = "psm_speedup",
+                         .shape = systemName(shape),
+                         .variant = "base+psm",
+                         .metric = "min",
+                         .value = minOf(psm_speedups)});
+        cli.results.add({.series = "psm_speedup",
+                         .shape = systemName(shape),
+                         .variant = "base+psm",
+                         .metric = "median",
+                         .value = median(psm_speedups)});
+        cli.results.add({.series = "psm_speedup",
+                         .shape = systemName(shape),
+                         .variant = "base+psm",
+                         .metric = "max",
+                         .value = maxOf(psm_speedups)});
         std::printf("\n%s base+psm speedups: min %.2fx median %.2fx "
                     "max %.2fx", systemName(shape), minOf(psm_speedups),
                     median(psm_speedups), maxOf(psm_speedups));

@@ -39,7 +39,7 @@ main(int argc, char **argv)
     std::printf("=== Figure 9: energy efficiency vs performance, 4B4L "
                 "===\n");
     std::printf("kernel,variant,perf,efficiency,power\n");
-    std::vector<double> psm_eff;
+    std::vector<double> psm_eff, psm_perf, psm_power;
     size_t idx = 0;
     for (const auto &name : names) {
         const RunResult &base = results[idx++];
@@ -48,8 +48,29 @@ main(int argc, char **argv)
             double perf = base.sim.exec_seconds / r.sim.exec_seconds;
             double eff = r.efficiency() / base.efficiency();
             double power = r.sim.avg_power / base.sim.avg_power;
-            if (v == Variant::base_psm)
+            if (v == Variant::base_psm) {
                 psm_eff.push_back(eff);
+                psm_perf.push_back(perf);
+                psm_power.push_back(power);
+            }
+            cli.results.add({.series = "vs_base",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = variantName(v),
+                             .metric = "perf",
+                             .value = perf});
+            cli.results.add({.series = "vs_base",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = variantName(v),
+                             .metric = "efficiency",
+                             .value = eff});
+            cli.results.add({.series = "vs_base",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = variantName(v),
+                             .metric = "power",
+                             .value = power});
             std::printf("%s,%s,%.3f,%.3f,%.3f\n", name.c_str(),
                         variantName(v), perf, eff, power);
         }
@@ -57,6 +78,14 @@ main(int argc, char **argv)
     int improved = 0;
     for (double e : psm_eff)
         improved += e > 1.0;
+    cli.results.add("psm_summary", "improved",
+                    static_cast<double>(improved));
+    cli.results.add("psm_summary", "kernels",
+                    static_cast<double>(psm_eff.size()));
+    cli.results.add("psm_summary", "median_efficiency", median(psm_eff));
+    cli.results.add("psm_summary", "max_efficiency", maxOf(psm_eff));
+    cli.results.add("psm_summary", "median_perf", median(psm_perf));
+    cli.results.add("psm_summary", "median_power", median(psm_power));
     std::printf("\nbase+psm energy efficiency: improved on %d/%zu "
                 "kernels, median %.2fx, max %.2fx\n", improved,
                 psm_eff.size(), median(psm_eff), maxOf(psm_eff));

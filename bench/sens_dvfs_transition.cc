@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aaws/experiment.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "exp/cli.h"
 #include "exp/engine.h"
@@ -45,7 +46,7 @@ main(int argc, char **argv)
         std::printf(" %7.0fns", ns);
     std::printf("   trans/10us\n");
 
-    std::vector<double> worst;
+    std::vector<double> worst, rates;
     size_t idx = 0;
     for (const auto &name : names) {
         std::printf("%-9s", name.c_str());
@@ -55,13 +56,24 @@ main(int argc, char **argv)
         double base_seconds = points[0]->exec_seconds;
         double transitions_per_10us =
             points[0]->transitions / (points[0]->exec_seconds * 1e5);
+        rates.push_back(transitions_per_10us);
         for (size_t i = 0; i < 4; ++i) {
-            std::printf(" %8.3f", points[i]->exec_seconds / base_seconds);
+            double norm = points[i]->exec_seconds / base_seconds;
+            std::printf(" %8.3f", norm);
+            cli.results.add({.series = "norm_time",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = "base+psm",
+                             .metric = strfmt("%.0fns", steps[i]),
+                             .value = norm});
             if (i == 3)
-                worst.push_back(points[i]->exec_seconds / base_seconds);
+                worst.push_back(norm);
         }
         std::printf("   %8.2f\n", transitions_per_10us);
     }
+    cli.results.add("summary", "worst_slowdown_pct",
+                    100.0 * (maxOf(worst) - 1.0));
+    cli.results.add("summary", "max_transitions_per_10us", maxOf(rates));
     std::printf("\nworst 250ns slowdown: %.1f%% (paper: < 2%%)\n",
                 100.0 * (maxOf(worst) - 1.0));
     return 0;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aaws/experiment.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "exp/cli.h"
 #include "exp/engine.h"
@@ -45,7 +46,7 @@ main(int argc, char **argv)
         std::printf(" %6llucyc", (unsigned long long)c);
     std::printf("   mugs/Minstr\n");
 
-    std::vector<double> worst;
+    std::vector<double> worst, rates;
     size_t idx = 0;
     for (const auto &name : names) {
         std::printf("%-9s", name.c_str());
@@ -55,13 +56,26 @@ main(int argc, char **argv)
         double base_seconds = points[0]->exec_seconds;
         double mug_rate = static_cast<double>(points[0]->mugs) /
                           (points[0]->instructions / 1e6);
+        rates.push_back(mug_rate);
         for (size_t i = 0; i < 4; ++i) {
-            std::printf(" %9.3f", points[i]->exec_seconds / base_seconds);
+            double norm = points[i]->exec_seconds / base_seconds;
+            std::printf(" %9.3f", norm);
+            cli.results.add({.series = "norm_time",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = "base+psm",
+                             .metric = strfmt("%llucyc",
+                                              (unsigned long long)
+                                                  cycles[i]),
+                             .value = norm});
             if (i == 3)
-                worst.push_back(points[i]->exec_seconds / base_seconds);
+                worst.push_back(norm);
         }
         std::printf("   %8.2f\n", mug_rate);
     }
+    cli.results.add("summary", "worst_slowdown_pct",
+                    100.0 * (maxOf(worst) - 1.0));
+    cli.results.add("summary", "max_mugs_per_minstr", maxOf(rates));
     std::printf("\nworst 1000-cycle slowdown: %.1f%% (paper: < 1%%; "
                 "mug rate < 40/Minstr)\n", 100.0 * (maxOf(worst) - 1.0));
     return 0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aaws/experiment.h"
+#include "common/logging.h"
 #include "common/stats.h"
 #include "exp/cli.h"
 #include "exp/engine.h"
@@ -55,12 +56,23 @@ main(int argc, char **argv)
         double base_seconds = points[1]->exec_seconds; // 30cyc default
         uint64_t steals = points[1]->steals;
         for (size_t i = 0; i < 4; ++i) {
-            std::printf(" %9.3f", points[i]->exec_seconds / base_seconds);
+            double norm = points[i]->exec_seconds / base_seconds;
+            std::printf(" %9.3f", norm);
+            cli.results.add({.series = "norm_time",
+                             .kernel = name,
+                             .shape = "4B4L",
+                             .variant = "base+psm",
+                             .metric = strfmt("%llucyc",
+                                              (unsigned long long)
+                                                  costs[i]),
+                             .value = norm});
             if (i == 3)
-                worst.push_back(points[i]->exec_seconds / base_seconds);
+                worst.push_back(norm);
         }
         std::printf("   %6llu\n", (unsigned long long)steals);
     }
+    cli.results.add("summary", "worst_slowdown_pct",
+                    100.0 * (maxOf(worst) - 1.0));
     std::printf("\nworst 120-cycle slowdown vs the 30-cycle default: "
                 "%.1f%%\n", 100.0 * (maxOf(worst) - 1.0));
     return 0;

@@ -8,15 +8,29 @@
 #include <cstdio>
 
 #include "aaws/experiment.h"
+#include "exp/cli.h"
 
 using namespace aaws;
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::BenchCli cli;
+    cli.parse(argc, argv);
     MachineConfig c4 = MachineConfig::system4B4L();
     FirstOrderModel model(c4.table_params);
     const ModelParams &p = c4.table_params;
+    cli.results.add("config", "v_nom", p.v_nom);
+    cli.results.add("config", "v_min", p.v_min);
+    cli.results.add("config", "v_max", p.v_max);
+    cli.results.add("config", "alpha", p.alpha);
+    cli.results.add("config", "beta", p.beta);
+    cli.results.add("config", "lambda", p.lambda);
+    cli.results.add("config", "gamma", p.gamma);
+    cli.results.add("config", "f_nominal_mhz",
+                    model.freq(p.v_nom) / 1e6);
+    cli.results.add("config", "regulator_ns_per_step",
+                    c4.regulator_ns_per_step);
 
     std::printf("=== Table I: system configuration ===\n\n");
     std::printf("technology        modeled after TSMC 65nm LP, %.1f V "

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exp/cli.h"
 #include "runtime/central_queue.h"
 #include "runtime/parallel_for.h"
 
@@ -361,8 +362,10 @@ struct Row
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    aaws::exp::BenchCli cli;
+    cli.parse(argc, argv);
     int threads = std::max(2u, std::thread::hardware_concurrency());
     std::printf("=== Table II: baseline runtime vs alternative "
                 "schedulers (host: %d threads) ===\n\n", threads);
@@ -456,11 +459,22 @@ main()
     std::printf("%-8s %12s %14s %14s %14s %12s\n", "kernel",
                 "serial(ms)", "work-steal", "central-q", "async",
                 "ws vs cq");
+    cli.results.add("host", "threads", static_cast<double>(threads));
     for (const auto &row : rows) {
         std::printf("%-8s %12.2f %11.2fx %13.2fx %13.2fx %+11.0f%%\n",
                     row.name, row.serial * 1e3, row.serial / row.ws,
                     row.serial / row.central, row.serial / row.async,
                     100.0 * (row.central / row.ws - 1.0));
+        auto addHost = [&](const char *metric, double value) {
+            cli.results.add({.series = "host",
+                             .kernel = row.name,
+                             .metric = metric,
+                             .value = value});
+        };
+        addHost("ws_speedup", row.serial / row.ws);
+        addHost("cq_speedup", row.serial / row.central);
+        addHost("async_speedup", row.serial / row.async);
+        addHost("ws_vs_cq_pct", 100.0 * (row.central / row.ws - 1.0));
     }
     std::printf("\ncolumns 3-5 are speedups over the serial version; "
                 "the last column is the work-stealing runtime's\n"

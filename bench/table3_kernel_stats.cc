@@ -59,6 +59,27 @@ main(int argc, char **argv)
                     s.beta, s.alpha, serial_io / t_1b7l,
                     s.speedup_1b7l_vs_io, serial_io / t_4b4l,
                     s.speedup_4b4l_vs_io);
+        cli.results.add({.series = "workload",
+                         .kernel = name,
+                         .metric = "dinsts_m",
+                         .value = kernel.dag.totalWork() / 1e6});
+        cli.results.add({.series = "workload",
+                         .kernel = name,
+                         .metric = "tasks",
+                         .value = static_cast<double>(
+                             kernel.dag.numTasks())});
+        cli.results.add({.series = "vs_serial_io",
+                         .kernel = name,
+                         .shape = "1B7L",
+                         .variant = "base",
+                         .metric = "speedup",
+                         .value = serial_io / t_1b7l});
+        cli.results.add({.series = "vs_serial_io",
+                         .kernel = name,
+                         .shape = "4B4L",
+                         .variant = "base",
+                         .metric = "speedup",
+                         .value = serial_io / t_4b4l});
     }
     std::printf("\npm: p = parallel_for, np = nested, rss = recursive "
                 "spawn-and-sync.  beta/alpha columns are inputs\n"

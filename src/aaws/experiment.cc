@@ -76,6 +76,20 @@ serialSeconds(const Kernel &kernel, CoreType type)
 }
 
 double
+speedupOver(const SimResult &base, const SimResult &opt)
+{
+    AAWS_ASSERT(opt.exec_seconds > 0.0, "non-positive execution time");
+    return base.exec_seconds / opt.exec_seconds;
+}
+
+double
+efficiencyGain(const SimResult &base, const SimResult &opt)
+{
+    AAWS_ASSERT(opt.energy > 0.0, "non-positive energy");
+    return speedupOver(base, opt) * base.energy / opt.energy;
+}
+
+double
 serialEnergy(const Kernel &kernel, CoreType type)
 {
     ModelParams params;

@@ -68,6 +68,17 @@ double serialSeconds(const Kernel &kernel, CoreType type);
 /** Serial energy of the same run (for the alpha/ERatio column). */
 double serialEnergy(const Kernel &kernel, CoreType type);
 
+/** Speedup of `opt` over `base` (ratio of execution times). */
+double speedupOver(const SimResult &base, const SimResult &opt);
+
+/**
+ * Energy-efficiency (perf-per-joule) gain of `opt` over `base`:
+ * speedup x E_base/E_opt, i.e. (1/t_opt/E_opt) / (1/t_base/E_base).
+ * > 1 means the optimized run does the same work both faster and on a
+ * better perf/energy trade-off.
+ */
+double efficiencyGain(const SimResult &base, const SimResult &opt);
+
 } // namespace aaws
 
 #endif // AAWS_AAWS_EXPERIMENT_H

@@ -37,6 +37,8 @@ printUsage(const char *prog)
         "  --time          print a sims/sec + events/sec line on stderr\n"
         "  --bench-json=F  write a machine-readable perf record to F "
         "(env AAWS_BENCH_SIM_JSON)\n"
+        "  --results-json=F  write the aaws-results/v1 datapoint "
+        "artifact to F (env AAWS_RESULTS_JSON)\n"
         "  --help          this message\n",
         prog);
 }
@@ -57,27 +59,31 @@ progBasename(const char *prog)
 void
 BenchCli::parse(int argc, char **argv)
 {
+    std::string results_json;
     if (const char *env = std::getenv("AAWS_KERNEL_FILTER"))
         filter = env;
     if (const char *env = std::getenv("AAWS_BENCH_SIM_JSON"))
         engine.bench_json = env;
+    if (const char *env = std::getenv("AAWS_RESULTS_JSON"))
+        results_json = env;
     if (argc > 0)
         engine.bench_name = progBasename(argv[0]);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (const char *value = flagValue(arg, "--jobs")) {
-            char *end = nullptr;
-            long parsed = std::strtol(value, &end, 10);
-            if (end == value || *end)
-                fatal("--jobs: expected an integer, got '%s'", value);
+            int parsed = 0;
+            if (!parseJobs(value, parsed))
+                fatal("--jobs: expected an integer worker count, "
+                      "got '%s'",
+                      value);
             if (parsed <= 0) {
                 // 0 and negatives mean "pick for me": fall through to
                 // the engine's auto-detection rather than erroring out.
-                warn("--jobs=%ld clamped to auto (hardware concurrency)",
+                warn("--jobs=%d clamped to auto (hardware concurrency)",
                      parsed);
                 parsed = 0;
             }
-            engine.jobs = static_cast<int>(parsed);
+            engine.jobs = parsed;
         } else if (const char *value = flagValue(arg, "--filter")) {
             filter = value;
         } else if (const char *value = flagValue(arg, "--cache-dir")) {
@@ -86,6 +92,8 @@ BenchCli::parse(int argc, char **argv)
             engine.use_cache = false;
         } else if (const char *value = flagValue(arg, "--bench-json")) {
             engine.bench_json = value;
+        } else if (const char *value = flagValue(arg, "--results-json")) {
+            results_json = value;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             engine.progress = false;
         } else if (std::strcmp(arg, "--time") == 0) {
@@ -97,6 +105,10 @@ BenchCli::parse(int argc, char **argv)
             fatal("unknown argument '%s' (try --help)", arg);
         }
     }
+    if (!results_json.empty())
+        results.open(results_json, engine.bench_name.empty()
+                                       ? "bench"
+                                       : engine.bench_name);
 }
 
 bool

@@ -14,11 +14,15 @@
  *   --time          print a sims/sec + events/sec self-report line
  *   --bench-json=F  write a machine-readable perf record to F
  *                   (env AAWS_BENCH_SIM_JSON)
+ *   --results-json=F  write the aaws-results/v1 datapoint artifact to F
+ *                   (env AAWS_RESULTS_JSON; see exp/results.h)
  *   --help          print usage and exit
  *
  * `--jobs` accepts 0 and negative values as "auto" (clamped, with a
  * warning, to the engine's hardware-concurrency detection); the engine
- * reports the effective worker count in its stderr header.
+ * reports the effective worker count in its stderr header.  Malformed
+ * `--jobs` values (trailing garbage, out-of-int-range) are fatal; the
+ * same strict parser guards AAWS_EXP_JOBS (see exp/engine.h).
  */
 
 #ifndef AAWS_EXP_CLI_H
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "exp/engine.h"
+#include "exp/results.h"
 
 namespace aaws {
 namespace exp {
@@ -38,6 +43,13 @@ struct BenchCli
     EngineOptions engine;
     /** Kernel-name substring filter; empty matches everything. */
     std::string filter;
+    /**
+     * Structured-results sink, opened by --results-json=F (or
+     * AAWS_RESULTS_JSON) and written at scope exit; disabled (add()
+     * is a no-op) when neither is given, so benches record datapoints
+     * unconditionally.
+     */
+    ResultsWriter results;
 
     /**
      * Parse the shared flags; fatal() on unknown arguments (benches

@@ -1,9 +1,11 @@
 #include "exp/engine.h"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -20,16 +22,36 @@
 namespace aaws {
 namespace exp {
 
+bool
+parseJobs(const char *text, int &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max())
+        return false;
+    out = static_cast<int>(parsed);
+    return true;
+}
+
 int
 resolveJobs(int requested, size_t batch_size)
 {
     int jobs = requested;
     if (jobs <= 0) {
         if (const char *env = std::getenv("AAWS_EXP_JOBS")) {
-            char *end = nullptr;
-            long parsed = std::strtol(env, &end, 10);
-            if (end != env && parsed > 0)
-                jobs = static_cast<int>(parsed);
+            int parsed = 0;
+            if (!parseJobs(env, parsed))
+                warn("AAWS_EXP_JOBS='%s' is not a valid worker count; "
+                     "ignored (using auto-detection)",
+                     env);
+            else if (parsed > 0)
+                jobs = parsed;
         }
     }
     if (jobs <= 0)
@@ -62,25 +84,31 @@ class ProgressReporter
     }
 
     void
-    onRunDone(uint64_t done, uint64_t hits, uint64_t misses)
+    onRunDone(bool hit)
     {
-        if (!enabled_ || done == total_)
-            return; // the final line comes from summary()
+        if (!enabled_)
+            return;
+        // The three counters only change together under this mutex, so
+        // every printed line satisfies hits + misses == done (sampling
+        // the engine's atomics after incrementing `done` could not
+        // guarantee that).
         std::lock_guard<std::mutex> lock(mutex_);
+        done_++;
+        (hit ? hits_ : misses_)++;
+        if (done_ == total_)
+            return; // the final line comes from summary()
         double elapsed = secondsSince(start_);
         if (elapsed - last_print_ < 0.2)
             return;
         last_print_ = elapsed;
-        double eta = done > 0
-                         ? elapsed * static_cast<double>(total_ - done) /
-                               static_cast<double>(done)
-                         : 0.0;
+        double eta = elapsed * static_cast<double>(total_ - done_) /
+                     static_cast<double>(done_);
         std::fprintf(stderr,
                      "[aaws-exp] %llu/%zu done, %llu hits, %llu misses, "
                      "%.1fs elapsed, eta %.1fs\n",
-                     static_cast<unsigned long long>(done), total_,
-                     static_cast<unsigned long long>(hits),
-                     static_cast<unsigned long long>(misses), elapsed,
+                     static_cast<unsigned long long>(done_), total_,
+                     static_cast<unsigned long long>(hits_),
+                     static_cast<unsigned long long>(misses_), elapsed,
                      eta);
     }
 
@@ -110,6 +138,9 @@ class ProgressReporter
     Clock::time_point start_;
     std::mutex mutex_;
     double last_print_ = 0.0;
+    uint64_t done_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 };
 
 /**
@@ -192,7 +223,6 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
 {
     ResultCache cache(options.use_cache, options.cache_dir);
     std::vector<RunResult> results(specs.size());
-    std::atomic<uint64_t> done{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> sim_events{0};
@@ -207,7 +237,8 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
     auto runOne = [&](size_t i) {
         const RunSpec &spec = specs[i];
         RunResult result;
-        if (cache.lookup(spec, result)) {
+        bool hit = cache.lookup(spec, result);
+        if (hit) {
             hits.fetch_add(1, std::memory_order_relaxed);
         } else {
             result = executeSpec(spec, kernels.get(spec));
@@ -217,9 +248,7 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
             cache.store(spec, result);
         }
         results[i] = std::move(result);
-        uint64_t now_done = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        progress.onRunDone(now_done, hits.load(std::memory_order_relaxed),
-                           misses.load(std::memory_order_relaxed));
+        progress.onRunDone(hit);
     };
 
     if (jobs <= 1 || specs.size() <= 1) {

@@ -60,6 +60,15 @@ struct BatchStats
     uint64_t sim_events = 0;
 };
 
+/**
+ * Strict base-10 parse of a worker-count value, shared by `--jobs` and
+ * AAWS_EXP_JOBS so both reject the same inputs: empty strings, trailing
+ * garbage ("4x"), and anything outside int range (including strtol
+ * ERANGE overflows, which a bare cast would silently truncate).  On
+ * success `out` holds the value (which may be <= 0, meaning "auto").
+ */
+bool parseJobs(const char *text, int &out);
+
 /** Resolve the effective worker count for a batch of the given size. */
 int resolveJobs(int requested, size_t batch_size);
 

@@ -1,0 +1,228 @@
+#include "repro/check.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aaws {
+namespace repro {
+
+namespace {
+
+bool
+fieldMatches(const std::string &want, const std::string &have)
+{
+    return want == have;
+}
+
+bool
+matches(const Selector &sel, const exp::ResultPoint &p)
+{
+    return fieldMatches(sel.bench, p.bench) &&
+           fieldMatches(sel.series, p.series) &&
+           fieldMatches(sel.kernel, p.kernel) &&
+           fieldMatches(sel.shape, p.shape) &&
+           fieldMatches(sel.variant, p.variant) &&
+           fieldMatches(sel.metric, p.metric);
+}
+
+ClaimOutcome
+evaluateOne(const Claim &claim,
+            const std::vector<exp::ResultPoint> &points)
+{
+    ClaimOutcome out;
+    out.claim = claim;
+    const exp::ResultPoint *found = nullptr;
+    for (const exp::ResultPoint &p : points) {
+        if (!matches(claim.where, p))
+            continue;
+        ++out.matches;
+        found = &p;
+    }
+    if (out.matches == 0) {
+        out.verdict = Verdict::missing;
+        return out;
+    }
+    if (out.matches > 1) {
+        // An ambiguous selector means the artifact (or the registry)
+        // is malformed; never guess which datapoint was meant.
+        out.verdict = Verdict::fail;
+        return out;
+    }
+    out.measured = found->value;
+
+    double m = out.measured;
+    double e = claim.expected;
+    switch (claim.kind) {
+    case ClaimKind::exact:
+        out.deviation = std::abs(m - e);
+        out.verdict = out.deviation <= claim.fail_tol ? Verdict::pass
+                                                      : Verdict::fail;
+        break;
+    case ClaimKind::band: {
+        double rel = std::abs(m - e) / std::abs(e);
+        out.deviation = rel;
+        if (rel <= claim.warn_tol)
+            out.verdict = Verdict::pass;
+        else if (rel <= claim.fail_tol)
+            out.verdict = Verdict::warn;
+        else
+            out.verdict = Verdict::fail;
+        break;
+    }
+    case ClaimKind::direction: {
+        double shortfall = claim.direction == Direction::at_least
+                               ? (e - m) / std::abs(e)
+                               : (m - e) / std::abs(e);
+        out.deviation = shortfall > 0.0 ? shortfall : 0.0;
+        if (shortfall <= 0.0)
+            out.verdict = Verdict::pass;
+        else if (shortfall <= claim.fail_tol)
+            out.verdict = Verdict::warn;
+        else
+            out.verdict = Verdict::fail;
+        break;
+    }
+    }
+    return out;
+}
+
+const char *
+verdictTag(Verdict verdict)
+{
+    switch (verdict) {
+    case Verdict::pass:
+        return "PASS";
+    case Verdict::warn:
+        return "WARN";
+    case Verdict::fail:
+        return "FAIL";
+    case Verdict::missing:
+        return "MISS";
+    }
+    return "?";
+}
+
+std::string
+expectedText(const Claim &claim)
+{
+    switch (claim.kind) {
+    case ClaimKind::exact:
+        return strfmt("= %g", claim.expected);
+    case ClaimKind::band:
+        return strfmt("%g ±%.0f%%", claim.expected,
+                      100.0 * claim.fail_tol);
+    case ClaimKind::direction:
+        return strfmt("%s %g",
+                      claim.direction == Direction::at_least ? ">="
+                                                             : "<=",
+                      claim.expected);
+    }
+    return "?";
+}
+
+} // namespace
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+    case Verdict::pass:
+        return "pass";
+    case Verdict::warn:
+        return "warn";
+    case Verdict::fail:
+        return "fail";
+    case Verdict::missing:
+        return "missing";
+    }
+    return "?";
+}
+
+size_t
+Scoreboard::count(Verdict verdict) const
+{
+    size_t n = 0;
+    for (const ClaimOutcome &o : outcomes)
+        if (o.verdict == verdict)
+            ++n;
+    return n;
+}
+
+bool
+Scoreboard::ok(bool require_all) const
+{
+    if (count(Verdict::fail) > 0)
+        return false;
+    return !require_all || count(Verdict::missing) == 0;
+}
+
+Scoreboard
+evaluate(const std::vector<Claim> &claims,
+         const std::vector<exp::ResultPoint> &points)
+{
+    Scoreboard board;
+    board.outcomes.reserve(claims.size());
+    for (const Claim &claim : claims)
+        board.outcomes.push_back(evaluateOne(claim, points));
+    return board;
+}
+
+std::string
+renderScoreboard(const Scoreboard &board, bool verbose)
+{
+    std::string out;
+    for (const ClaimOutcome &o : board.outcomes) {
+        if (!verbose && o.verdict == Verdict::pass)
+            continue;
+        std::string line =
+            strfmt("[%s] %-28s %-9s %-14s", verdictTag(o.verdict),
+                   o.claim.id.c_str(), claimKindName(o.claim.kind),
+                   expectedText(o.claim).c_str());
+        if (o.verdict == Verdict::missing) {
+            line += " (no datapoint; bench not run?)";
+        } else if (o.matches > 1) {
+            line += strfmt(" ambiguous: %zu datapoints match",
+                           o.matches);
+        } else {
+            line += strfmt(" measured %-10.4g", o.measured);
+            if (o.claim.kind != ClaimKind::exact)
+                line += strfmt(" dev %.1f%%", 100.0 * o.deviation);
+        }
+        line += strfmt("  [%s]", o.claim.source.c_str());
+        out += line;
+        out += '\n';
+    }
+    out += strfmt("%zu claims: %zu pass, %zu warn, %zu fail, "
+                  "%zu missing\n",
+                  board.outcomes.size(), board.count(Verdict::pass),
+                  board.count(Verdict::warn), board.count(Verdict::fail),
+                  board.count(Verdict::missing));
+    return out;
+}
+
+std::string
+renderMarkdown(const Scoreboard &board)
+{
+    std::string out;
+    out += "| Claim | Source | Expected | Measured | Deviation | "
+           "Verdict |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const ClaimOutcome &o : board.outcomes) {
+        std::string measured =
+            o.verdict == Verdict::missing ? "—"
+                                          : strfmt("%.4g", o.measured);
+        std::string deviation = "—";
+        if (o.verdict != Verdict::missing &&
+            o.claim.kind != ClaimKind::exact)
+            deviation = strfmt("%.1f%%", 100.0 * o.deviation);
+        out += strfmt("| `%s` | %s | %s | %s | %s | %s |\n",
+                      o.claim.id.c_str(), o.claim.source.c_str(),
+                      expectedText(o.claim).c_str(), measured.c_str(),
+                      deviation.c_str(), verdictName(o.verdict));
+    }
+    return out;
+}
+
+} // namespace repro
+} // namespace aaws

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Declarative registry of the paper's reproduction targets.
+ *
+ * Each Claim names one datapoint of the aaws-results/v1 artifacts (by
+ * bench/series/kernel/shape/variant/metric), the value the paper — or,
+ * for configuration constants, this repository's committed defaults —
+ * expects, and how strictly the comparison is enforced:
+ *
+ *  - exact:     the datapoint must match to within an absolute epsilon
+ *               (configuration constants; any drift is a code change).
+ *  - band:      relative deviation |m - e| / |e| must stay inside
+ *               warn_tol (pass) / fail_tol (warn); beyond fail_tol the
+ *               claim fails.  Used for quantitative paper numbers where
+ *               a first-order simulator legitimately lands close but
+ *               not on top (EXPERIMENTS.md documents each offset).
+ *  - direction: the paper states an inequality ("every kernel speeds
+ *               up", "< 2% impact"); measured must satisfy it, with a
+ *               relative fail_tol slack that downgrades a marginal
+ *               violation to warn before calling it a failure.
+ *
+ * The registry is data, not logic: repro_check and the unit tests both
+ * consume paperClaims() so the claim set itself is under test.
+ */
+
+#ifndef AAWS_REPRO_CLAIMS_H
+#define AAWS_REPRO_CLAIMS_H
+
+#include <string>
+#include <vector>
+
+namespace aaws {
+namespace repro {
+
+enum class ClaimKind
+{
+    exact,
+    band,
+    direction,
+};
+
+enum class Direction
+{
+    at_least,
+    at_most,
+};
+
+/**
+ * Datapoint selector: every non-empty field must equal the artifact
+ * field exactly; empty selector fields require the artifact field to
+ * be absent (aggregates).  A claim must match exactly one datapoint.
+ */
+struct Selector
+{
+    std::string bench;
+    std::string series;
+    std::string kernel;
+    std::string shape;
+    std::string variant;
+    std::string metric;
+};
+
+struct Claim
+{
+    std::string id;     ///< unique slug, e.g. "table3/4B4L/matmul".
+    std::string source; ///< paper anchor, e.g. "Table III".
+    std::string note;   ///< one-line human description.
+    ClaimKind kind = ClaimKind::band;
+    Selector where;
+    double expected = 0.0; ///< paper value, or inequality threshold.
+    double warn_tol = 0.0; ///< band: relative pass radius.
+    double fail_tol = 0.0; ///< band: warn radius; direction: slack.
+    Direction direction = Direction::at_least;
+};
+
+/** The full registry, in paper order.  Ids are unique. */
+const std::vector<Claim> &paperClaims();
+
+const char *claimKindName(ClaimKind kind);
+
+} // namespace repro
+} // namespace aaws
+
+#endif // AAWS_REPRO_CLAIMS_H

@@ -24,6 +24,35 @@ TEST(Variant, UnknownNameIsFatal)
     EXPECT_DEATH((void)variantFromName("base+x"), "unknown variant");
 }
 
+TEST(Metrics, SpeedupAndEfficiencyGainOnHandBuiltResults)
+{
+    // Baseline: 2 s at 8 J.  Optimized: 1 s at 5 J.
+    SimResult base;
+    base.exec_seconds = 2.0;
+    base.energy = 8.0;
+    SimResult opt;
+    opt.exec_seconds = 1.0;
+    opt.energy = 5.0;
+
+    EXPECT_DOUBLE_EQ(speedupOver(base, opt), 2.0);
+    // Perf-per-joule gain is (perf_opt/perf_base) x (E_base/E_opt) =
+    // speedup x E_base/E_opt = 2.0 x 8/5 = 3.2.  ext_scaling's old
+    // inline formula algebraically cancelled to a bare E_base/E_opt
+    // (1.6 here), dropping the speedup factor; this pins the corrected
+    // definition.
+    EXPECT_DOUBLE_EQ(efficiencyGain(base, opt), 3.2);
+
+    // Equal energies: efficiency gain degenerates to the speedup.
+    opt.energy = 8.0;
+    EXPECT_DOUBLE_EQ(efficiencyGain(base, opt), 2.0);
+
+    // Slower but much cheaper: gain can exceed 1 with speedup < 1.
+    opt.exec_seconds = 4.0;
+    opt.energy = 2.0;
+    EXPECT_DOUBLE_EQ(speedupOver(base, opt), 0.5);
+    EXPECT_DOUBLE_EQ(efficiencyGain(base, opt), 2.0);
+}
+
 TEST(Variant, TechniqueMatrix)
 {
     MachineConfig config;

@@ -11,13 +11,16 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/json.h"
 #include "exp/cache.h"
 #include "exp/cli.h"
 #include "exp/engine.h"
+#include "exp/results.h"
 #include "exp/run_spec.h"
 #include "sim/result_json.h"
 #include "stress/sim_compare.h"
@@ -290,6 +293,216 @@ TEST(Engine, ResolveJobsClampsToBatchSize)
     EXPECT_EQ(exp::resolveJobs(8, 3), 3);
     EXPECT_EQ(exp::resolveJobs(2, 100), 2);
     EXPECT_GE(exp::resolveJobs(0, 100), 1);
+}
+
+TEST(Engine, ParseJobsIsStrict)
+{
+    int out = -1;
+    EXPECT_TRUE(exp::parseJobs("4", out));
+    EXPECT_EQ(out, 4);
+    EXPECT_TRUE(exp::parseJobs("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(exp::parseJobs("-3", out));
+    EXPECT_EQ(out, -3);
+    EXPECT_TRUE(exp::parseJobs("  7", out)) << "strtol skips leading ws";
+    EXPECT_EQ(out, 7);
+
+    // Trailing garbage, empty, and non-numeric input all fail instead
+    // of silently truncating ("4x" used to parse as 4).
+    EXPECT_FALSE(exp::parseJobs("4x", out));
+    EXPECT_FALSE(exp::parseJobs("", out));
+    EXPECT_FALSE(exp::parseJobs(nullptr, out));
+    EXPECT_FALSE(exp::parseJobs("jobs", out));
+    EXPECT_FALSE(exp::parseJobs("4 ", out));
+    EXPECT_FALSE(exp::parseJobs("0x10", out));
+
+    // Out-of-range values fail via ERANGE / the int-range check
+    // instead of saturating to LONG_MAX ("--jobs" used to accept
+    // these and spawn LONG_MAX-clamped worker counts).
+    EXPECT_FALSE(exp::parseJobs("99999999999999999999", out));
+    EXPECT_FALSE(exp::parseJobs("-99999999999999999999", out));
+    EXPECT_FALSE(exp::parseJobs("2147483648", out)) << "INT_MAX + 1";
+    EXPECT_TRUE(exp::parseJobs("2147483647", out));
+    EXPECT_EQ(out, std::numeric_limits<int>::max());
+}
+
+TEST(Engine, ResolveJobsIgnoresMalformedEnv)
+{
+    // AAWS_EXP_JOBS goes through the same strict parser as --jobs:
+    // malformed values warn and fall back to auto-detection rather
+    // than being truncated by a bare atoi.
+    ASSERT_EQ(setenv("AAWS_EXP_JOBS", "3", 1), 0);
+    EXPECT_EQ(exp::resolveJobs(0, 100), 3);
+    ASSERT_EQ(setenv("AAWS_EXP_JOBS", "3 workers", 1), 0);
+    EXPECT_GE(exp::resolveJobs(0, 100), 1) << "falls back to auto";
+    EXPECT_EQ(exp::resolveJobs(5, 100), 5)
+        << "explicit --jobs bypasses the env entirely";
+    ASSERT_EQ(setenv("AAWS_EXP_JOBS", "99999999999999999999", 1), 0);
+    EXPECT_GE(exp::resolveJobs(0, 100), 1);
+    ASSERT_EQ(unsetenv("AAWS_EXP_JOBS"), 0);
+}
+
+TEST(Results, PointRoundTripsThroughJson)
+{
+    exp::ResultPoint point;
+    point.bench = "table3_kernel_stats";
+    point.series = "vs_serial_io";
+    point.kernel = "dict";
+    point.shape = "4B4L";
+    point.variant = "base";
+    point.metric = "speedup";
+    point.value = 9.3393216180100801;
+
+    std::string line = exp::resultPointToJson(point);
+    EXPECT_EQ(line.find('\n'), std::string::npos) << "one line";
+    EXPECT_NE(line.find("\"schema\":\"aaws-results/v1\""),
+              std::string::npos);
+
+    exp::ResultPoint parsed;
+    ASSERT_TRUE(exp::resultPointFromJson(line, parsed));
+    EXPECT_TRUE(parsed.sameKey(point));
+    EXPECT_EQ(std::bit_cast<uint64_t>(parsed.value),
+              std::bit_cast<uint64_t>(point.value))
+        << "value must round-trip bit-identically";
+    EXPECT_EQ(exp::resultPointToJson(parsed), line) << "fixed point";
+}
+
+TEST(Results, AggregatePointsOmitOptionalFields)
+{
+    exp::ResultPoint point;
+    point.bench = "fig09_energy_vs_perf";
+    point.series = "psm_summary";
+    point.metric = "median_efficiency";
+    point.value = 1.08;
+    std::string line = exp::resultPointToJson(point);
+    EXPECT_EQ(line.find("kernel"), std::string::npos);
+    EXPECT_EQ(line.find("shape"), std::string::npos);
+    EXPECT_EQ(line.find("variant"), std::string::npos);
+
+    exp::ResultPoint parsed;
+    ASSERT_TRUE(exp::resultPointFromJson(line, parsed));
+    EXPECT_TRUE(parsed.sameKey(point));
+}
+
+TEST(Results, ParserRejectsMalformedLines)
+{
+    exp::ResultPoint out;
+    EXPECT_FALSE(exp::resultPointFromJson("{", out));
+    EXPECT_FALSE(exp::resultPointFromJson("{}", out));
+    // Wrong or missing schema tag fails closed.
+    EXPECT_FALSE(exp::resultPointFromJson(
+        "{\"schema\":\"aaws-results/v2\",\"bench\":\"b\","
+        "\"series\":\"s\",\"metric\":\"m\",\"value\":1}",
+        out));
+    EXPECT_FALSE(exp::resultPointFromJson(
+        "{\"bench\":\"b\",\"series\":\"s\",\"metric\":\"m\","
+        "\"value\":1}",
+        out));
+    // Missing required members.
+    EXPECT_FALSE(exp::resultPointFromJson(
+        "{\"schema\":\"aaws-results/v1\",\"bench\":\"b\","
+        "\"series\":\"s\",\"metric\":\"m\"}",
+        out));
+    EXPECT_FALSE(exp::resultPointFromJson(
+        "{\"schema\":\"aaws-results/v1\",\"series\":\"s\","
+        "\"metric\":\"m\",\"value\":1}",
+        out));
+}
+
+TEST(Results, WriterRoundTripsThroughLoadResults)
+{
+    fs::path dir = scratchDir("results_writer");
+    fs::path artifact = dir / "points.jsonl";
+
+    exp::ResultsWriter writer;
+    EXPECT_FALSE(writer.enabled());
+    writer.open(artifact.string(), "unit_bench");
+    EXPECT_TRUE(writer.enabled());
+
+    exp::ResultPoint full;
+    full.series = "vs_base";
+    full.kernel = "dict";
+    full.shape = "4B4L";
+    full.variant = "base+psm";
+    full.metric = "speedup";
+    full.value = 1.1078350112199999;
+    writer.add(full);
+    writer.add("summary", "median", 1.25);
+    ASSERT_TRUE(writer.close());
+    EXPECT_TRUE(writer.close()) << "close is idempotent";
+
+    std::vector<exp::ResultPoint> loaded;
+    ASSERT_TRUE(exp::loadResults(artifact.string(), loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].bench, "unit_bench")
+        << "the writer stamps its bench name on every point";
+    EXPECT_EQ(loaded[0].kernel, "dict");
+    EXPECT_EQ(std::bit_cast<uint64_t>(loaded[0].value),
+              std::bit_cast<uint64_t>(full.value));
+    EXPECT_EQ(loaded[1].bench, "unit_bench");
+    EXPECT_EQ(loaded[1].series, "summary");
+    EXPECT_EQ(loaded[1].kernel, "");
+    EXPECT_EQ(loaded[1].value, 1.25);
+
+    // A disabled writer swallows datapoints without touching disk.
+    exp::ResultsWriter disabled;
+    disabled.add(full);
+    EXPECT_TRUE(disabled.close());
+    EXPECT_TRUE(disabled.points().empty());
+}
+
+TEST(Results, LoadResultsRejectsCorruptArtifacts)
+{
+    fs::path dir = scratchDir("results_load");
+    fs::path artifact = dir / "bad.jsonl";
+    {
+        std::ofstream out(artifact);
+        out << "{\"schema\":\"aaws-results/v1\",\"bench\":\"b\","
+               "\"series\":\"s\",\"metric\":\"m\",\"value\":1}\n"
+            << "\n" // blank lines are fine
+            << "this is not json\n";
+    }
+    std::vector<exp::ResultPoint> loaded;
+    EXPECT_FALSE(exp::loadResults(artifact.string(), loaded));
+    EXPECT_FALSE(
+        exp::loadResults((dir / "nonexistent.jsonl").string(), loaded));
+}
+
+TEST(BenchCli, ResultsJsonFlagOpensWriter)
+{
+    fs::path dir = scratchDir("cli_results");
+    fs::path artifact = dir / "out.jsonl";
+    std::string flag = "--results-json=" + artifact.string();
+    const char *argv[] = {"some/dir/my_bench", flag.c_str()};
+    exp::BenchCli cli;
+    cli.parse(2, const_cast<char **>(argv));
+    ASSERT_TRUE(cli.results.enabled());
+    cli.results.add("series_a", "metric_b", 2.0);
+    ASSERT_TRUE(cli.results.close());
+
+    std::vector<exp::ResultPoint> loaded;
+    ASSERT_TRUE(exp::loadResults(artifact.string(), loaded));
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].bench, "my_bench")
+        << "artifact bench field is argv[0]'s basename";
+}
+
+TEST(BenchCli, ResultsJsonEnvOpensWriter)
+{
+    fs::path dir = scratchDir("cli_results_env");
+    fs::path artifact = dir / "env.jsonl";
+    ASSERT_EQ(setenv("AAWS_RESULTS_JSON", artifact.c_str(), 1), 0);
+    const char *argv[] = {"env_bench"};
+    exp::BenchCli cli;
+    cli.parse(1, const_cast<char **>(argv));
+    ASSERT_EQ(unsetenv("AAWS_RESULTS_JSON"), 0);
+    ASSERT_TRUE(cli.results.enabled());
+    cli.results.add("s", "m", 1.0);
+    ASSERT_TRUE(cli.results.close());
+    std::vector<exp::ResultPoint> loaded;
+    ASSERT_TRUE(exp::loadResults(artifact.string(), loaded));
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].bench, "env_bench");
 }
 
 TEST(Engine, BatchStatsCountSimEvents)

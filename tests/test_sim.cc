@@ -293,6 +293,63 @@ TEST(SimTrace, RecordsAndRenders)
     EXPECT_NE(art.find('#'), std::string::npos);
 }
 
+TEST(SimTrace, RenderAsciiIsGlyphExact)
+{
+    // Hand-built trace covering every rendering rule: activity glyphs,
+    // all five voltage thresholds ('^' '+' '-' 'v' '_'), idle blanking
+    // of the voltage row, cores that start late, and trailing idle.
+    // The expected strings are pinned byte-for-byte: any renderer
+    // change (including the bucketed single-pass rewrite) must
+    // preserve them exactly.
+    ActivityTrace trace;
+    trace.enable();
+    // core 0: task at nominal, then serial boosted, then idle.
+    trace.record(0, 0, TraceState::task, 1.00);
+    trace.record(40, 0, TraceState::serial, 1.25);
+    trace.record(80, 0, TraceState::idle, 1.00);
+    // core 1: idle until tick 20, mug at max boost, then steal loop
+    // at the rest voltage.
+    trace.record(20, 1, TraceState::mug, 1.30);
+    trace.record(60, 1, TraceState::steal, 0.70);
+    // core 2: busy the whole run, mildly then strongly undervolted.
+    trace.record(0, 2, TraceState::task, 0.90);
+    trace.record(50, 2, TraceState::task, 0.76);
+    trace.setEnd(100);
+
+    EXPECT_EQ(trace.renderAscii(3, 20, 1.0),
+              "core0  act  |########SSSSSSSS....|\n"
+              "       dvfs |--------^^^^^^^^    |\n"
+              "core1  act  |....MMMMMMMM        |\n"
+              "       dvfs |    ^^^^^^^^________|\n"
+              "core2  act  |####################|\n"
+              "       dvfs |vvvvvvvvvv__________|\n");
+
+    // The '+' (mild boost) glyph and a one-column-per-record render.
+    ActivityTrace boost;
+    boost.enable();
+    boost.record(0, 0, TraceState::task, 1.10);
+    boost.record(2, 0, TraceState::task, 1.00);
+    boost.setEnd(4);
+    EXPECT_EQ(boost.renderAscii(1, 4, 1.0),
+              "core0  act  |####|\n"
+              "       dvfs |++--|\n");
+}
+
+TEST(SimTrace, RenderAsciiIgnoresOutOfRangeCores)
+{
+    // Records for cores beyond num_cores must not disturb the rendered
+    // rows (fig01 renders 8 of N cores; the bucketed pass must skip,
+    // not crash on, the rest).
+    ActivityTrace trace;
+    trace.enable();
+    trace.record(0, 0, TraceState::task, 1.0);
+    trace.record(0, 5, TraceState::mug, 1.3);
+    trace.setEnd(10);
+    EXPECT_EQ(trace.renderAscii(1, 4, 1.0),
+              "core0  act  |####|\n"
+              "       dvfs |----|\n");
+}
+
 TEST(SimTrace, CsvExportHasHeaderAndRows)
 {
     MachineConfig config = plainConfig();

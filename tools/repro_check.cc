@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Machine-checked reproduction gate.
+ *
+ * Loads one or more aaws-results/v1 artifacts (written by the bench
+ * binaries under --results-json) and evaluates every claim in the
+ * paper-expectation registry (src/repro/claims.cc) against them:
+ *
+ *   build/bench/table3_kernel_stats --results-json=results/table3.jsonl
+ *   build/bench/fig08_exec_breakdown --results-json=results/fig08.jsonl
+ *   build/tools/repro_check results/<bench>.jsonl...
+ *
+ * Exit status: 0 when no claim fails (warns and, by default, missing
+ * claims are reported but tolerated so a bench subset can be checked);
+ * 1 when any claim fails, --require-all is given and claims are
+ * missing, or an artifact cannot be loaded.
+ *
+ * --list prints the registry without evaluating; --markdown prints the
+ * paper-vs-measured table EXPERIMENTS.md embeds.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "exp/results.h"
+#include "repro/check.h"
+#include "repro/claims.h"
+
+using namespace aaws;
+
+namespace {
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options] ARTIFACT.jsonl...\n"
+        "  ARTIFACT.jsonl  aaws-results/v1 files written by bench "
+        "binaries (--results-json)\n"
+        "  --list          print the claim registry and exit\n"
+        "  --markdown      print the paper-vs-measured markdown table\n"
+        "  --verbose       print passing claims too (default: "
+        "non-pass only)\n"
+        "  --require-all   treat missing claims as failures\n"
+        "  --help          this message\n",
+        prog);
+}
+
+void
+listClaims()
+{
+    const std::vector<repro::Claim> &claims = repro::paperClaims();
+    for (const repro::Claim &c : claims)
+        std::printf("%-28s %-9s %-14s %s\n", c.id.c_str(),
+                    repro::claimKindName(c.kind), c.source.c_str(),
+                    c.note.c_str());
+    std::printf("%zu claims\n", claims.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool list = false;
+    bool markdown = false;
+    bool verbose = false;
+    bool require_all = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(arg, "--markdown") == 0) {
+            markdown = true;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            verbose = true;
+        } else if (std::strcmp(arg, "--require-all") == 0) {
+            require_all = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printUsage(argv[0]);
+            return 0;
+        } else if (arg[0] == '-') {
+            fatal("unknown argument '%s' (try --help)", arg);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (list) {
+        listClaims();
+        return 0;
+    }
+    if (paths.empty()) {
+        printUsage(argv[0]);
+        return 1;
+    }
+
+    std::vector<exp::ResultPoint> points;
+    for (const std::string &path : paths) {
+        if (!exp::loadResults(path, points))
+            fatal("failed to load artifact '%s'", path.c_str());
+    }
+
+    repro::Scoreboard board =
+        repro::evaluate(repro::paperClaims(), points);
+
+    if (markdown) {
+        std::printf("%s", repro::renderMarkdown(board).c_str());
+    } else {
+        std::printf("%zu datapoints from %zu artifact(s)\n\n",
+                    points.size(), paths.size());
+        std::printf("%s",
+                    repro::renderScoreboard(board, verbose).c_str());
+    }
+
+    if (!board.ok(require_all)) {
+        std::fprintf(stderr, "repro_check: FAILED (%zu fail, %zu "
+                             "missing)\n",
+                     board.count(repro::Verdict::fail),
+                     board.count(repro::Verdict::missing));
+        return 1;
+    }
+    return 0;
+}

@@ -41,19 +41,32 @@ variantFromName(const std::string &name)
     fatal("unknown variant '%s'", name.c_str());
 }
 
+sched::PolicyConfig
+policyConfigFor(Variant v)
+{
+    sched::PolicyConfig sp;
+    // The baseline is aggressive: serial-sprinting and work-biasing are
+    // always on (Section III-C).
+    sp.serial_sprinting = true;
+    sp.work_biasing = true;
+    sp.work_pacing = v == Variant::base_p || v == Variant::base_ps ||
+                     v == Variant::base_psm;
+    sp.work_sprinting = v == Variant::base_ps || v == Variant::base_psm;
+    sp.work_mugging = v == Variant::base_psm || v == Variant::base_m;
+    return sp;
+}
+
 void
 applyVariant(MachineConfig &config, Variant v)
 {
-    // The baseline is aggressive: serial-sprinting and work-biasing are
-    // always on (Section III-C).
-    config.policy.serial_sprinting = true;
-    config.work_biasing = true;
-    config.policy.work_pacing =
-        v == Variant::base_p || v == Variant::base_ps ||
-        v == Variant::base_psm;
-    config.policy.work_sprinting =
-        v == Variant::base_ps || v == Variant::base_psm;
-    config.work_mugging = v == Variant::base_psm || v == Variant::base_m;
+    sched::PolicyConfig sp = policyConfigFor(v);
+    config.policy.serial_sprinting = sp.serial_sprinting;
+    config.work_biasing = sp.work_biasing;
+    config.policy.work_pacing = sp.work_pacing;
+    config.policy.work_sprinting = sp.work_sprinting;
+    config.work_mugging = sp.work_mugging;
+    // sp.victim is deliberately not copied: config.random_victim is an
+    // ablation knob orthogonal to the variant (see MachineConfig).
 }
 
 } // namespace aaws

@@ -45,6 +45,14 @@ Variant variantFromName(const std::string &name);
 /** Apply the variant's technique switches to a machine config. */
 void applyVariant(MachineConfig &config, Variant v);
 
+/**
+ * The variant as a flat scheduler-policy assembly — what a native
+ * `runtime::WorkerPool` or a software pacing governor consumes.
+ * Victim selection stays at its default (occupancy); the ablation
+ * benches override it separately.
+ */
+sched::PolicyConfig policyConfigFor(Variant v);
+
 } // namespace aaws
 
 #endif // AAWS_AAWS_VARIANT_H

@@ -8,8 +8,11 @@ DvfsController::DvfsController(const DvfsLookupTable &table,
                                const DvfsPolicy &policy,
                                std::vector<CoreType> core_types,
                                const ModelParams &mp)
-    : table_(table), policy_(policy), core_types_(std::move(core_types)),
-      v_nom_(mp.v_nom), v_min_(mp.v_min), v_max_(mp.v_max)
+    : table_(table), policy_(policy),
+      rest_(policy.serial_sprinting, policy.work_pacing,
+            policy.work_sprinting),
+      core_types_(std::move(core_types)), v_nom_(mp.v_nom),
+      v_min_(mp.v_min), v_max_(mp.v_max)
 {
     int n_big = 0;
     int n_little = 0;
@@ -34,55 +37,49 @@ DvfsController::decideInto(const std::vector<bool> &active,
                            int serial_core,
                            std::vector<double> &out) const
 {
+    sched::ActivityCensus census(table_.nBig(), table_.nLittle());
+    census.recount(active, core_types_);
+    decideInto(active, census, serial_core, out);
+}
+
+void
+DvfsController::decideInto(const std::vector<bool> &active,
+                           const sched::ActivityCensus &census,
+                           int serial_core,
+                           std::vector<double> &out) const
+{
     AAWS_ASSERT(static_cast<int>(active.size()) == numCores(),
                 "activity vector size mismatch");
     out.assign(active.size(), v_nom_);
 
-    int n_big_active = 0;
-    int n_little_active = 0;
-    for (size_t i = 0; i < active.size(); ++i) {
-        if (active[i]) {
-            (core_types_[i] == CoreType::big ? n_big_active
-                                             : n_little_active)++;
-        }
-    }
-
-    if (serial_core >= 0 && policy_.serial_sprinting) {
-        // Truly serial region: sprint the one active core; other cores
-        // rest only if work-sprinting is available, else idle at nominal.
-        for (size_t i = 0; i < out.size(); ++i) {
-            if (static_cast<int>(i) == serial_core)
-                out[i] = v_max_;
-            else
-                out[i] = policy_.work_sprinting ? v_min_ : v_nom_;
-        }
-        return;
-    }
-
-    bool all_active =
-        n_big_active == table_.nBig() && n_little_active == table_.nLittle();
-
-    if (all_active) {
-        if (!policy_.work_pacing)
-            return; // asymmetry-oblivious: everyone at nominal
-        const DvfsTableEntry &e =
-            table_.at(n_big_active, n_little_active);
-        for (size_t i = 0; i < out.size(); ++i)
-            out[i] =
-                core_types_[i] == CoreType::big ? e.v_big : e.v_little;
-        return;
-    }
-
-    if (!policy_.work_sprinting)
-        return; // waiting cores spin at nominal, active cores at nominal
-
-    const DvfsTableEntry &e = table_.at(n_big_active, n_little_active);
+    const bool serial_hinted = serial_core >= 0;
+    const bool all_active = census.bigActive() == table_.nBig() &&
+                            census.littleActive() == table_.nLittle();
+    // The table entry every sprint_table intent maps to: the census
+    // cell (all-active pacing is just the full cell).
+    const DvfsTableEntry *entry = nullptr;
     for (size_t i = 0; i < out.size(); ++i) {
-        if (!active[i])
+        sched::VoltageIntent intent =
+            rest_.intentFor(active[i], static_cast<int>(i) == serial_core,
+                            serial_hinted, all_active);
+        switch (intent) {
+          case sched::VoltageIntent::nominal:
+            break;
+          case sched::VoltageIntent::rest:
             out[i] = v_min_;
-        else
-            out[i] =
-                core_types_[i] == CoreType::big ? e.v_big : e.v_little;
+            break;
+          case sched::VoltageIntent::sprint_max:
+            out[i] = v_max_;
+            break;
+          case sched::VoltageIntent::sprint_table:
+            if (!entry) {
+                entry = &table_.at(census.bigActive(),
+                                   census.littleActive());
+            }
+            out[i] = core_types_[i] == CoreType::big ? entry->v_big
+                                                     : entry->v_little;
+            break;
+        }
     }
 }
 

@@ -16,7 +16,11 @@
  *    active core to v_max (included in the paper's *baseline* runtime).
  *
  * Timing (transition latency, decision locking) is handled by the
- * simulator; this class is a pure activity -> voltages function.
+ * simulator; this class is a pure activity -> voltages function.  The
+ * *decision* half (which cores rest, sprint, or pace) is the shared
+ * `sched::RestPolicy` component — also used by the native runtime's
+ * software pacing governor — and this class only maps the resulting
+ * intents to volts through the lookup table.
  */
 
 #ifndef AAWS_DVFS_CONTROLLER_H
@@ -25,6 +29,8 @@
 #include <vector>
 
 #include "dvfs/lookup_table.h"
+#include "sched/census.h"
+#include "sched/rest_policy.h"
 
 namespace aaws {
 
@@ -65,18 +71,32 @@ class DvfsController
 
     /**
      * Allocation-free variant of decide(): writes the target voltages
-     * into `out` (resized/overwritten).  The simulator calls this once
-     * per hint change, so it reuses one buffer across the whole run.
+     * into `out` (resized/overwritten).  Recounts the census from the
+     * activity bits.
      */
     void decideInto(const std::vector<bool> &active, int serial_core,
                     std::vector<double> &out) const;
 
+    /**
+     * Census-supplied variant: the caller maintains the activity
+     * census incrementally (the simulator does, one update per hint
+     * toggle) and `census` must equal a recount of `active`.  The
+     * simulator calls this once per hint change, so it reuses one
+     * buffer across the whole run.
+     */
+    void decideInto(const std::vector<bool> &active,
+                    const sched::ActivityCensus &census, int serial_core,
+                    std::vector<double> &out) const;
+
     const DvfsPolicy &policy() const { return policy_; }
+    /** The rest/sprint intent policy the voltages are mapped from. */
+    const sched::RestPolicy &restPolicy() const { return rest_; }
     int numCores() const { return static_cast<int>(core_types_.size()); }
 
   private:
     const DvfsLookupTable &table_;
     DvfsPolicy policy_;
+    sched::RestPolicy rest_;
     std::vector<CoreType> core_types_;
     double v_nom_;
     double v_min_;

@@ -16,6 +16,7 @@
 #define AAWS_RUNTIME_HOOKS_H
 
 #include <atomic>
+#include <cstdint>
 
 namespace aaws {
 
@@ -53,6 +54,40 @@ class SchedulerHooks
 
     /** Worker is about to push a spawned task onto its own deque. */
     virtual void onSpawn(int worker) { (void)worker; }
+
+    /**
+     * Worker `thief` took a task from `victim`'s deque.  Fires after
+     * the steal committed (the task is the thief's) and before the
+     * thief starts executing it.
+     */
+    virtual void
+    onStealSuccess(int thief, int victim)
+    {
+        (void)thief;
+        (void)victim;
+    }
+
+    /**
+     * Worker `mugger` (on a big core) claimed queued work from worker
+     * `muggee` (on a little core) through the mugging policy — the
+     * software analog of the paper's user-level-interrupt migration.
+     * Fires before the corresponding onStealSuccess.
+     */
+    virtual void
+    onMug(int mugger, int muggee)
+    {
+        (void)mugger;
+        (void)muggee;
+    }
+
+    /**
+     * Worker parked (rest state: blocked on the wakeup condition
+     * variable after exhausting its idle spins).  A software pacing
+     * governor maps this to the v_min rest decision of work-sprinting.
+     * The worker signals waiting via onWorkerWaiting well before it
+     * rests; onWorkerActive marks the end of the rest.
+     */
+    virtual void onRest(int worker) { (void)worker; }
 };
 
 /**
@@ -79,6 +114,29 @@ class ActivityMonitor : public SchedulerHooks
         active_.fetch_sub(1, std::memory_order_acq_rel);
     }
 
+    void
+    onStealSuccess(int thief, int victim) override
+    {
+        (void)thief;
+        (void)victim;
+        steal_successes_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    onMug(int mugger, int muggee) override
+    {
+        (void)mugger;
+        (void)muggee;
+        mugs_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    onRest(int worker) override
+    {
+        (void)worker;
+        rests_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     /** Workers currently holding their activity bit high. */
     int
     activeWorkers() const
@@ -86,8 +144,32 @@ class ActivityMonitor : public SchedulerHooks
         return active_.load(std::memory_order_acquire);
     }
 
+    /** Committed steals observed via onStealSuccess. */
+    uint64_t
+    stealSuccesses() const
+    {
+        return steal_successes_.load(std::memory_order_relaxed);
+    }
+
+    /** Mug migrations observed via onMug. */
+    uint64_t
+    mugs() const
+    {
+        return mugs_.load(std::memory_order_relaxed);
+    }
+
+    /** Worker park events observed via onRest. */
+    uint64_t
+    rests() const
+    {
+        return rests_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<int> active_;
+    std::atomic<uint64_t> steal_successes_{0};
+    std::atomic<uint64_t> mugs_{0};
+    std::atomic<uint64_t> rests_{0};
 };
 
 } // namespace aaws

@@ -1,5 +1,7 @@
 #include "runtime/worker_pool.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace aaws {
@@ -13,13 +15,29 @@ thread_local int tls_worker = -1;
 } // namespace
 
 WorkerPool::WorkerPool(int threads, SchedulerHooks *hooks)
-    : hooks_(hooks)
+    : WorkerPool(threads, PoolOptions{{}, 0, hooks})
+{
+}
+
+WorkerPool::WorkerPool(int threads, const PoolOptions &options)
+    : hooks_(options.hooks), policy_config_(options.policy),
+      policy_(sched::makePolicyStack(options.policy)),
+      n_big_(std::clamp(options.n_big, 0, threads))
 {
     AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
     deques_.reserve(threads);
-    hints_.resize(threads);
-    for (int i = 0; i < threads; ++i)
+    hints_ = std::make_unique<HintState[]>(threads);
+    victims_.reserve(threads);
+    for (int i = 0; i < threads; ++i) {
         deques_.push_back(std::make_unique<ChaseLevDeque<RtTask *>>());
+        // Stateful selectors (random) must not be shared across
+        // threads: one per worker, streams decorrelated by index.
+        victims_.push_back(sched::makeVictimSelector(
+            options.policy.victim,
+            options.policy.victim_seed + static_cast<uint64_t>(i)));
+    }
+    // All hint bits power up active, as the paper's cores do.
+    big_active_.store(n_big_, std::memory_order_relaxed);
     // The constructing thread is the master (worker 0).
     tls_pool = this;
     tls_worker = 0;
@@ -79,29 +97,63 @@ WorkerPool::tryTakeTask()
         noteFound(self);
         return task;
     }
-    // Occupancy-based victim selection: steal from the richest deque.
-    int victim = -1;
-    int64_t best = 0;
-    for (int i = 0; i < numWorkers(); ++i) {
-        if (i == self)
-            continue;
-        int64_t occ = deques_[i]->sizeEstimate();
-        if (occ > best) {
-            best = occ;
-            victim = i;
-        }
+    // Work-biasing: a gated-out little worker charges a failed attempt
+    // without touching anyone's deque, exactly as the simulator does.
+    // The explicit SchedView upcast keeps the pool on the generic
+    // virtual path — parking and deque atomics dominate here, so the
+    // devirtualized template binding the simulator uses buys nothing.
+    const sched::SchedView &view = *this;
+    if (self >= 0 && !policy_.gate.allowSteal(view, self)) {
+        noteFailed(self);
+        return nullptr;
     }
+    int victim = self >= 0 ? victims_[self]->pick(view, self)
+                           : foreign_victim_.pick(view, self);
     if (victim >= 0) {
         if (hooks_)
             hooks_->onStealAttempt(self, victim);
         if (deques_[victim]->steal(task)) {
             steals_.fetch_add(1, std::memory_order_relaxed);
+            if (hooks_)
+                hooks_->onStealSuccess(self, victim);
             noteFound(self);
             return task;
         }
     }
     noteFailed(self);
+    if (self >= 0 && (task = tryMug(self)))
+        return task;
     return nullptr;
+}
+
+RtTask *
+WorkerPool::tryMug(int self)
+{
+    // Work-mugging, native analog: without user-level interrupts a
+    // library runtime cannot preempt a running task, so a starved big
+    // worker instead raids the *queued* work of the busiest little
+    // worker the mug policy singles out — bypassing normal victim
+    // selection, which may have just failed on a stale estimate.
+    if (!policy_.mug.wantsMug(coreType(self), hints_[self].failed))
+        return nullptr;
+    int muggee =
+        policy_.mug.pickMuggee(static_cast<const sched::SchedView &>(*this));
+    if (muggee < 0)
+        return nullptr;
+    mug_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_)
+        hooks_->onStealAttempt(self, muggee);
+    RtTask *task = nullptr;
+    if (!deques_[muggee]->steal(task))
+        return nullptr;
+    mugs_.fetch_add(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_) {
+        hooks_->onMug(self, muggee);
+        hooks_->onStealSuccess(self, muggee);
+    }
+    noteFound(self);
+    return task;
 }
 
 void
@@ -111,8 +163,10 @@ WorkerPool::noteFound(int self)
         return;
     HintState &hint = hints_[self];
     hint.failed = 0;
-    if (hint.waiting) {
-        hint.waiting = false;
+    if (hint.waiting.load(std::memory_order_relaxed)) {
+        hint.waiting.store(false, std::memory_order_relaxed);
+        if (coreType(self) == CoreType::big)
+            big_active_.fetch_add(1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerActive(self);
     }
@@ -125,9 +179,13 @@ WorkerPool::noteFailed(int self)
         return;
     HintState &hint = hints_[self];
     // The paper toggles the activity bit on the *second* consecutive
-    // failed steal attempt (Section III-A).
-    if (!hint.waiting && ++hint.failed >= 2) {
-        hint.waiting = true;
+    // failed steal attempt (Section III-A); the count keeps running
+    // (saturating) so the mug trigger can read the starvation streak.
+    hint.failed = std::min(hint.failed + 1, 1 << 20);
+    if (hint.failed == 2 && !hint.waiting.load(std::memory_order_relaxed)) {
+        hint.waiting.store(true, std::memory_order_relaxed);
+        if (coreType(self) == CoreType::big)
+            big_active_.fetch_sub(1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerWaiting(self);
     }
@@ -159,7 +217,10 @@ WorkerPool::workerLoop(int index)
             std::this_thread::yield();
             continue;
         }
-        // Deep sleep until new work arrives or shutdown.
+        // Deep sleep until new work arrives or shutdown: the rest
+        // decision a software pacing governor maps to v_min.
+        if (hooks_)
+            hooks_->onRest(index);
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         sleepers_.fetch_add(1, std::memory_order_acq_rel);
         sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));

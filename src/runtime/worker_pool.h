@@ -3,11 +3,20 @@
  * The native work-stealing thread pool (Section IV-C analog).
  *
  * A library-based, child-stealing runtime in the spirit of Intel TBB:
- * per-worker Chase-Lev deques, occupancy-based victim selection, and
+ * per-worker Chase-Lev deques, pluggable victim selection, and
  * blocking-style joins in which the waiting thread keeps executing local
  * and stolen tasks.  Deliberately lightweight: no exceptions across
  * tasks, no cancellation — the paper credits the same omissions for its
  * runtime's competitive single-socket performance (Table II).
+ *
+ * Scheduling policy comes from the same `src/sched/` components the
+ * simulator runs: `PoolOptions` carries a `sched::PolicyConfig` plus a
+ * core-type split (the first `n_big` workers model big cores), and the
+ * pool assembles victim selection, the work-biasing steal gate, and the
+ * mug trigger from it.  Without hardware preemption, a native "mug" is
+ * the policy-directed migration of *queued* work: a starved big worker
+ * targets the most loaded busy little worker's deque directly instead
+ * of whatever victim selection would pick.
  */
 
 #ifndef AAWS_RUNTIME_WORKER_POOL_H
@@ -22,6 +31,8 @@
 
 #include "runtime/chase_lev_deque.h"
 #include "runtime/hooks.h"
+#include "sched/policy_stack.h"
+#include "sched/view.h"
 
 namespace aaws {
 
@@ -56,11 +67,36 @@ struct ClosureTask final : RtTask
 } // namespace detail
 
 /**
+ * Scheduling-policy options of a native pool.
+ *
+ * The defaults reproduce the historical pool behavior exactly: all
+ * workers are "little" (n_big = 0), so the work-biasing gate never
+ * fires, mugging is off, and victim selection is occupancy-based.
+ */
+struct PoolOptions
+{
+    /** Policy-component switches (see sched/policy_stack.h). */
+    sched::PolicyConfig policy{};
+    /**
+     * Workers 0..n_big-1 are treated as big cores by the biasing and
+     * mugging policies (clamped to the worker count).  Zero disables
+     * the asymmetry-aware policies without touching their switches.
+     */
+    int n_big = 0;
+    /** Optional activity observer (borrowed; must outlive the pool). */
+    SchedulerHooks *hooks = nullptr;
+};
+
+/**
  * Fixed-size work-stealing pool.  The constructing thread is "worker 0"
  * (the master) and participates in execution whenever it waits on a
  * TaskGroup; `threads - 1` additional worker threads are spawned.
+ *
+ * Privately implements sched::SchedView with concurrent snapshots
+ * (deque size estimates, relaxed census loads) so the shared policy
+ * components can drive it.
  */
-class WorkerPool
+class WorkerPool : private sched::SchedView
 {
   public:
     /**
@@ -69,12 +105,22 @@ class WorkerPool
      *              the pool).  See runtime/hooks.h.
      */
     explicit WorkerPool(int threads, SchedulerHooks *hooks = nullptr);
-    ~WorkerPool();
+
+    /**
+     * @param threads Total workers including the master (>= 1).
+     * @param options Policy assembly + core-type split + hooks.
+     */
+    WorkerPool(int threads, const PoolOptions &options);
+
+    ~WorkerPool() override;
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    int numWorkers() const { return static_cast<int>(deques_.size()); }
+    int numWorkers() const override
+    {
+        return static_cast<int>(deques_.size());
+    }
 
     /** Spawn a closure as a stealable task on the current worker. */
     template <typename F>
@@ -85,11 +131,26 @@ class WorkerPool
             std::forward<F>(fn)));
     }
 
-    /** Total successful steals (statistics). */
+    /** Total successful steals (statistics; includes mugs). */
     uint64_t steals() const
     {
         return steals_.load(std::memory_order_relaxed);
     }
+
+    /** Mug-policy-directed steal attempts by starved big workers. */
+    uint64_t mugAttempts() const
+    {
+        return mug_attempts_.load(std::memory_order_relaxed);
+    }
+
+    /** Mug attempts that actually migrated a task. */
+    uint64_t mugs() const
+    {
+        return mugs_.load(std::memory_order_relaxed);
+    }
+
+    /** The policy switches this pool was assembled from. */
+    const sched::PolicyConfig &policyConfig() const { return policy_config_; }
 
     // Internal API used by TaskGroup / parallel algorithms ---------------
 
@@ -97,10 +158,12 @@ class WorkerPool
     void spawnTask(RtTask *task);
 
     /**
-     * Take one unit of work: own deque first, then occupancy-based
-     * stealing.  Returns nullptr when nothing was found this attempt.
-     * Drives the activity-hint hooks: the second consecutive failed
-     * attempt signals waiting; the next success signals active.
+     * Take one unit of work: own deque first, then a policy-selected
+     * victim (gated by work-biasing), then — for a starved big worker
+     * under work-mugging — a mug-targeted steal.  Returns nullptr when
+     * nothing was found this attempt.  Drives the activity-hint hooks:
+     * the second consecutive failed attempt signals waiting; the next
+     * success signals active.
      */
     RtTask *tryTakeTask();
 
@@ -112,20 +175,63 @@ class WorkerPool
     void wakeOne();
     void noteFound(int self);
     void noteFailed(int self);
+    RtTask *tryMug(int self);
 
-    /** Per-worker activity-hint state (each slot owner-thread only). */
+    // --- sched::SchedView (concurrent snapshots) ------------------------
+
+    int64_t dequeSize(int worker) const override
+    {
+        return deques_[worker]->sizeEstimate();
+    }
+
+    CoreType coreType(int core) const override
+    {
+        return core < n_big_ ? CoreType::big : CoreType::little;
+    }
+
+    sched::CoreActivity activity(int core) const override
+    {
+        return hints_[core].waiting.load(std::memory_order_relaxed)
+                   ? sched::CoreActivity::stealing
+                   : sched::CoreActivity::running;
+    }
+
+    int numBig() const override { return n_big_; }
+
+    int bigActive() const override
+    {
+        return big_active_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Per-worker activity-hint state.  `failed` is owner-thread only;
+     * `waiting` is written by the owner and read by foreign threads
+     * (the census view), hence atomic.
+     */
     struct HintState
     {
         int failed = 0;
-        bool waiting = false;
+        std::atomic<bool> waiting{false};
     };
 
     std::vector<std::unique_ptr<ChaseLevDeque<RtTask *>>> deques_;
-    std::vector<HintState> hints_;
+    /** Array (not vector): atomics are not movable. */
+    std::unique_ptr<HintState[]> hints_;
     SchedulerHooks *hooks_ = nullptr;
+    sched::PolicyConfig policy_config_{};
+    sched::PolicyStack policy_;
+    /** One stateful selector per worker (pick() is single-threaded). */
+    std::vector<std::unique_ptr<sched::VictimSelector>> victims_;
+    /** Stateless fallback for foreign threads (no own deque). */
+    sched::OccupancyVictimSelector foreign_victim_;
+    int n_big_ = 0;
+    /** Hint-bit census of the big workers (the biasing gate's input). */
+    std::atomic<int> big_active_{0};
     std::vector<std::thread> threads_;
     std::atomic<bool> stop_{false};
     std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> mug_attempts_{0};
+    std::atomic<uint64_t> mugs_{0};
 
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Activity census: the (active-big, active-little) counts every AAWS
+ * policy keys on.
+ *
+ * This is the software mirror of the paper's per-core activity bits
+ * (Section III-A): the DVFS controller indexes its lookup table by
+ * these counts, work-biasing asks whether every big core is busy, and
+ * the simulator's occupancy accounting banks time per census cell.  The
+ * type is deliberately a plain incremental counter pair so engines can
+ * maintain it in O(1) on each transition; `recount()` recomputes from a
+ * bit vector for callers that only have the raw bits.
+ */
+
+#ifndef AAWS_SCHED_CENSUS_H
+#define AAWS_SCHED_CENSUS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.h"
+
+namespace aaws {
+namespace sched {
+
+/** Incremental count of active big/little cores. */
+class ActivityCensus
+{
+  public:
+    ActivityCensus() = default;
+
+    /**
+     * @param n_big Total big cores.
+     * @param n_little Total little cores.
+     * @param all_active Start with every core counted active (the
+     *        paper's cores boot with their activity bits raised).
+     */
+    ActivityCensus(int n_big, int n_little, bool all_active = false)
+        : n_big_(n_big), n_little_(n_little),
+          big_active_(all_active ? n_big : 0),
+          little_active_(all_active ? n_little : 0)
+    {
+    }
+
+    /** Record one core's activity transition. */
+    void
+    note(CoreType type, bool becomes_active)
+    {
+        int delta = becomes_active ? 1 : -1;
+        (type == CoreType::big ? big_active_ : little_active_) += delta;
+    }
+
+    /** Recompute the counts from per-core activity bits. */
+    void
+    recount(const std::vector<bool> &active,
+            const std::vector<CoreType> &types)
+    {
+        big_active_ = 0;
+        little_active_ = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if (active[i])
+                note(types[i], true);
+        }
+    }
+
+    int bigActive() const { return big_active_; }
+    int littleActive() const { return little_active_; }
+    int active() const { return big_active_ + little_active_; }
+    int nBig() const { return n_big_; }
+    int nLittle() const { return n_little_; }
+
+    /** Work-biasing predicate: may little cores steal? */
+    bool allBigActive() const { return big_active_ == n_big_; }
+
+    /** Work-pacing predicate: is the whole machine busy? */
+    bool
+    allActive() const
+    {
+        return big_active_ == n_big_ && little_active_ == n_little_;
+    }
+
+  private:
+    int n_big_ = 0;
+    int n_little_ = 0;
+    int big_active_ = 0;
+    int little_active_ = 0;
+};
+
+} // namespace sched
+} // namespace aaws
+
+#endif // AAWS_SCHED_CENSUS_H

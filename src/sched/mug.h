@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-mugging trigger policy (Section III-B): when to mug and whom.
+ *
+ * Mugging preemptively migrates work from a little core to a starved
+ * big core.  The *protocol* (interrupt delivery, state swap,
+ * rendezvous) belongs to the engine; this component owns the two
+ * policy questions: does this thief's situation justify a mug, and
+ * which core should be mugged.
+ */
+
+#ifndef AAWS_SCHED_MUG_H
+#define AAWS_SCHED_MUG_H
+
+#include "sched/view.h"
+
+namespace aaws {
+namespace sched {
+
+/** Muggable-LP detection + muggee choice. */
+class MugTrigger
+{
+  public:
+    explicit MugTrigger(bool enabled) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * A big core that has failed to steal twice in a row is starved
+     * while the machine may still hold work on slower cores: mug.
+     */
+    bool
+    wantsMug(CoreType thief_type, int failed_steals) const
+    {
+        return enabled_ && thief_type == CoreType::big &&
+               failed_steals >= 2;
+    }
+
+    /**
+     * Steal-loop muggee: the most loaded *running* little core not
+     * already engaged in a mug handshake (ties break to the lowest
+     * core id).  A running little with an empty deque is still a valid
+     * muggee — the mug migrates its executing context, not just queued
+     * tasks.  Returns -1 when no little core qualifies.
+     *
+     * Templated on the view (like `StealGate::allowSteal`) so final
+     * engine classes get the probe loop devirtualized.
+     */
+    template <SchedViewLike View>
+    int
+    pickMuggee(const View &view) const
+    {
+        int best = -1;
+        int64_t best_occ = 0;
+        bool best_found = false;
+        const int n = view.numCores();
+        for (int c = 0; c < n; ++c) {
+            if (view.coreType(c) != CoreType::little ||
+                view.activity(c) != CoreActivity::running ||
+                view.mugEngaged(c)) {
+                continue;
+            }
+            int64_t occ = view.coreDequeSize(c);
+            if (!best_found || occ > best_occ) {
+                best = c;
+                best_occ = occ;
+                best_found = true;
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Phase-transition muggee: logical thread 0 finished a parallel
+     * region on a little core and must continue on a big one (Section
+     * III-B), so it mugs any big core idling in the steal loop.
+     * Returns the first un-engaged stealing big core, or -1.
+     */
+    template <SchedViewLike View>
+    int
+    pickPhaseMuggee(const View &view) const
+    {
+        const int n = view.numCores();
+        for (int c = 0; c < n; ++c) {
+            if (view.coreType(c) == CoreType::big &&
+                view.activity(c) == CoreActivity::stealing &&
+                !view.mugEngaged(c)) {
+                return c;
+            }
+        }
+        return -1;
+    }
+
+  private:
+    bool enabled_;
+};
+
+} // namespace sched
+} // namespace aaws
+
+#endif // AAWS_SCHED_MUG_H

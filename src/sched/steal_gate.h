@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Work-biasing steal gate (Section III-C).
+ *
+ * Under work-biasing, little cores may only steal when every big core
+ * is already busy: otherwise a little core racing a big core to the
+ * same task would strand the work on the slower core.  Big cores are
+ * never gated.  The decision reads the engine's activity census
+ * through `SchedView`.
+ */
+
+#ifndef AAWS_SCHED_STEAL_GATE_H
+#define AAWS_SCHED_STEAL_GATE_H
+
+#include "sched/view.h"
+
+namespace aaws {
+namespace sched {
+
+/** Gate on steal attempts implementing work-biasing. */
+class StealGate
+{
+  public:
+    explicit StealGate(bool work_biasing) : work_biasing_(work_biasing) {}
+
+    bool biasing() const { return work_biasing_; }
+
+    /**
+     * May `thief_core` attempt a steal right now?  A gated-out attempt
+     * counts as a failed steal (the thief backs off and may toggle its
+     * activity hint), exactly as if every deque had been empty.
+     *
+     * Templated on the view so a final engine class binding `*this`
+     * gets the census reads inlined; passing a `SchedView &` keeps the
+     * generic virtual path.
+     */
+    template <SchedViewLike View>
+    bool
+    allowSteal(const View &view, int thief_core) const
+    {
+        if (!work_biasing_)
+            return true;
+        if (view.coreType(thief_core) == CoreType::big)
+            return true;
+        // A big core not counted active is stealing or done, so there
+        // is slack work a big core should pick up first.
+        return view.bigActive() == view.numBig();
+    }
+
+  private:
+    bool work_biasing_;
+};
+
+} // namespace sched
+} // namespace aaws
+
+#endif // AAWS_SCHED_STEAL_GATE_H

@@ -1,0 +1,15 @@
+#include "sched/victim.h"
+
+namespace aaws {
+namespace sched {
+
+std::unique_ptr<VictimSelector>
+makeVictimSelector(VictimPolicy policy, uint64_t seed)
+{
+    if (policy == VictimPolicy::random)
+        return std::make_unique<RandomVictimSelector>(seed);
+    return std::make_unique<OccupancyVictimSelector>();
+}
+
+} // namespace sched
+} // namespace aaws

@@ -16,6 +16,7 @@
 #define AAWS_SIM_CONFIG_H
 
 #include "dvfs/controller.h"
+#include "sched/policy_stack.h"
 #include "sim/cost_model.h"
 
 namespace aaws {
@@ -70,6 +71,25 @@ struct MachineConfig
     const DvfsLookupTable *table_override = nullptr;
 
     int numCores() const { return n_big + n_little; }
+
+    /**
+     * The flat sched::PolicyConfig this configuration describes — the
+     * single source the Machine assembles its policy stack from (and
+     * the same shape runtime::PoolOptions consumes natively).
+     */
+    sched::PolicyConfig
+    schedPolicy() const
+    {
+        sched::PolicyConfig sp;
+        sp.victim = random_victim ? sched::VictimPolicy::random
+                                  : sched::VictimPolicy::occupancy;
+        sp.work_biasing = work_biasing;
+        sp.work_mugging = work_mugging;
+        sp.serial_sprinting = policy.serial_sprinting;
+        sp.work_pacing = policy.work_pacing;
+        sp.work_sprinting = policy.work_sprinting;
+        return sp;
+    }
 
     /** 4 big + 4 little commercial-style configuration. */
     static MachineConfig system4B4L();

@@ -93,6 +93,17 @@ Machine::Machine(const MachineConfig &config, const TaskDag &dag)
     AAWS_ASSERT(!dag_.phases().empty(), "kernel has no phases");
     int n = num_cores_;
     AAWS_ASSERT(n >= 1 && n <= 64, "unsupported core count %d", n);
+    policy_ = sched::makePolicyStack(config.schedPolicy());
+    occ_victim_ =
+        dynamic_cast<sched::OccupancyVictimSelector *>(policy_.victim.get());
+    rand_victim_ =
+        dynamic_cast<sched::RandomVictimSelector *>(policy_.victim.get());
+    AAWS_ASSERT(occ_victim_ || rand_victim_, "unknown victim selector");
+    // Cores boot in the steal loop (inactive) but their hint bits power
+    // up raised, so the two censuses intentionally disagree at t=0.
+    state_census_ = sched::ActivityCensus(config.n_big, config.n_little);
+    hint_census_ = sched::ActivityCensus(config.n_big, config.n_little,
+                                         /*all_active=*/true);
     cores_.resize(n);
     workers_.resize(n);
     worker_core_.resize(n);
@@ -271,8 +282,8 @@ Machine::recordCensus()
 {
     // The active-core counts are maintained incrementally by
     // setCoreState (the sole mutator of Core::state).
-    int big_active = big_active_;
-    int little_active = little_active_;
+    int big_active = state_census_.bigActive();
+    int little_active = state_census_.littleActive();
     regions_.update(now(), serial_core_ >= 0, big_active, little_active);
     if (big_active != census_ba_ || little_active != census_la_) {
         occupancy_seconds_[census_ba_ * (config_.n_little + 1) +
@@ -337,14 +348,12 @@ Machine::setCoreState(int c, CoreState state)
     bool active = state == CoreState::running ||
                   state == CoreState::serial ||
                   state == CoreState::mugging;
-    if (active != was_active) {
-        int delta = active ? 1 : -1;
-        (core.type == CoreType::big ? big_active_ : little_active_) +=
-            delta;
-    }
+    if (active != was_active)
+        state_census_.note(core.type, active);
     bool hints_changed = false;
     if (active && !core.hint_active) {
         core.hint_active = true;
+        hint_census_.note(core.type, true);
         hints_changed = true;
     }
     updateEnergy(c);
@@ -534,60 +543,18 @@ Machine::onChildJoined(int32_t pf)
     }
 }
 
-bool
-Machine::allBigActive() const
-{
-    // A big core not counted active is stealing or done.
-    return big_active_ == config_.n_big;
-}
-
-int
-Machine::pickVictim(int c)
-{
-    if (config_.random_victim) {
-        // Classic Cilk-style random victim selection (ablation mode):
-        // uniformly pick among the non-empty deques.
-        int candidates[64];
-        int n = 0;
-        for (size_t wi = 0; wi < workers_.size(); ++wi) {
-            if (static_cast<int>(wi) != cores_[c].worker &&
-                !workers_[wi].dq.empty()) {
-                candidates[n++] = static_cast<int>(wi);
-            }
-        }
-        if (n == 0)
-            return -1;
-        // xorshift64*: deterministic per-machine stream.
-        victim_rng_ ^= victim_rng_ >> 12;
-        victim_rng_ ^= victim_rng_ << 25;
-        victim_rng_ ^= victim_rng_ >> 27;
-        return candidates[(victim_rng_ * 0x2545F4914F6CDD1Dull >> 33) %
-                          static_cast<uint64_t>(n)];
-    }
-    // Occupancy-based victim selection: richest deque wins.
-    int best = -1;
-    size_t best_occ = 0;
-    for (size_t wi = 0; wi < workers_.size(); ++wi) {
-        if (static_cast<int>(wi) == cores_[c].worker)
-            continue;
-        size_t occ = workers_[wi].dq.size();
-        if (occ > best_occ) {
-            best_occ = occ;
-            best = static_cast<int>(wi);
-        }
-    }
-    return best;
-}
-
 void
 Machine::onStealDone(int c)
 {
     Core &core = cores_[c];
     const RuntimeCosts &costs = config_.costs;
 
-    bool biased_out = config_.work_biasing &&
-                      core.type == CoreType::little && !allBigActive();
-    int victim = biased_out ? -1 : pickVictim(c);
+    bool biased_out = !policy_.gate.allowSteal(*this, c);
+    int victim = -1;
+    if (!biased_out) {
+        victim = occ_victim_ ? occ_victim_->pickIn(*this, core.worker)
+                             : rand_victim_->pickIn(*this, core.worker);
+    }
 
     if (victim >= 0) {
         Worker &vw = workers_[victim];
@@ -606,6 +573,7 @@ Machine::onStealDone(int c)
     result_.failed_steals++;
     if (core.failed_steals == 2 && core.hint_active) {
         core.hint_active = false;
+        hint_census_.note(core.type, false);
         onHintsChanged();
     }
 
@@ -614,9 +582,8 @@ Machine::onStealDone(int c)
     // moves the whole user-level context, so a big core blocked at a
     // sync may also mug (its blocked continuation migrates to the
     // little core and resumes whenever its join completes).
-    if (config_.work_mugging && core.type == CoreType::big &&
-        core.failed_steals >= 2) {
-        int target = pickMuggee(c);
+    if (policy_.mug.wantsMug(core.type, core.failed_steals)) {
+        int target = policy_.mug.pickMuggee(*this);
         if (target >= 0) {
             issueMug(c, target, /*for_phase=*/false);
             return;
@@ -649,31 +616,6 @@ Machine::onStealFetchDone(int c)
 }
 
 // --- mugging ----------------------------------------------------------------
-
-int
-Machine::pickMuggee(int c) const
-{
-    (void)c;
-    // The most loaded active little core (occupancy, then lowest id).
-    int best = -1;
-    size_t best_occ = 0;
-    bool best_found = false;
-    for (size_t i = 0; i < cores_.size(); ++i) {
-        const Core &core = cores_[i];
-        if (core.type != CoreType::little ||
-            core.state != CoreState::running || core.mug_targeted ||
-            core.mug_peer >= 0) {
-            continue;
-        }
-        size_t occ = workers_[core.worker].dq.size();
-        if (!best_found || occ > best_occ) {
-            best = static_cast<int>(i);
-            best_occ = occ;
-            best_found = true;
-        }
-    }
-    return best;
-}
 
 void
 Machine::issueMug(int c, int target, bool for_phase)
@@ -851,15 +793,11 @@ Machine::phaseTransition(int c)
 {
     // End of a parallel region: logical thread 0 must continue on a big
     // core (Section III-B); if it is on a little core, mug any big core.
-    if (config_.work_mugging && cores_[c].type == CoreType::little) {
-        for (size_t i = 0; i < cores_.size(); ++i) {
-            Core &big = cores_[i];
-            if (big.type == CoreType::big &&
-                big.state == CoreState::stealing && !big.mug_targeted &&
-                big.mug_peer < 0) {
-                issueMug(c, static_cast<int>(i), /*for_phase=*/true);
-                return;
-            }
+    if (policy_.mug.enabled() && cores_[c].type == CoreType::little) {
+        int target = policy_.mug.pickPhaseMuggee(*this);
+        if (target >= 0) {
+            issueMug(c, target, /*for_phase=*/true);
+            return;
         }
     }
     startNextPhase(c);
@@ -878,7 +816,8 @@ Machine::onHintsChanged()
     }
     for (size_t i = 0; i < cores_.size(); ++i)
         hints_buf_[i] = cores_[i].hint_active;
-    controller_.decideInto(hints_buf_, serial_core_, targets_buf_);
+    controller_.decideInto(hints_buf_, hint_census_, serial_core_,
+                           targets_buf_);
     applyDecision(targets_buf_);
 }
 

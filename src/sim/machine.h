@@ -22,6 +22,13 @@
  * state-swap code per side, a rendezvous barrier, and a cache-migration
  * penalty on the migrated task.
  *
+ * Every policy *decision* — victim choice, work-biasing, mug
+ * triggering/targeting, rest/sprint intents — is delegated to the
+ * engine-agnostic components in `src/sched/` (the same stack the
+ * native `runtime::WorkerPool` runs); the machine implements the
+ * `sched::SchedView` interface they read and keeps only event
+ * mechanics and cost charging for itself.
+ *
  * Simulation is single-threaded and fully deterministic.  The event
  * structure is an IndexedEventQueue with one slot per event source
  * (core pending-op, core transition, controller), so rescheduling a
@@ -39,6 +46,9 @@
 #include "dvfs/regulator.h"
 #include "energy/accountant.h"
 #include "kernels/task_dag.h"
+#include "sched/census.h"
+#include "sched/policy_stack.h"
+#include "sched/view.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "sim/region_tracker.h"
@@ -49,8 +59,18 @@ namespace aaws {
 /**
  * One simulated machine executing one task DAG.  Construct and run()
  * once; the object is not reusable.
+ *
+ * Implements the `sched::SchedView` *concept* statically: the policy
+ * components' templates bind `Machine` directly, so the millions of
+ * occupancy/activity probes per simulated second are ordinary inlined
+ * reads.  Deriving from the abstract `sched::SchedView` (as the native
+ * `runtime::WorkerPool` does) would add a vtable to an otherwise
+ * virtual-free class and an indirect call per probe — measurably (>5%)
+ * slower on steal-heavy kernels for zero flexibility the simulator
+ * needs.  `sim::detail::MachineViewCheck` pins the concept match at
+ * compile time.
  */
-class Machine
+class Machine final
 {
   public:
     /**
@@ -63,18 +83,57 @@ class Machine
     /** Execute the whole program and return the measurements. */
     SimResult run();
 
+    // --- sched::SchedView concept (read-only policy inputs) -------------
+    //
+    // Same signatures as the abstract interface, bound statically by
+    // the policy templates (`pickIn`, `allowSteal`, `pickMuggee`): the
+    // bodies are inline, so the steal path's occupancy probes compile
+    // down to direct vector reads instead of vtable hops.
+
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+
+    int64_t
+    dequeSize(int worker) const
+    {
+        return static_cast<int64_t>(workers_[worker].dq.size());
+    }
+
+    CoreType coreType(int core) const { return cores_[core].type; }
+
+    sched::CoreActivity activity(int core) const { return cores_[core].state; }
+
+    int numBig() const { return config_.n_big; }
+
+    int numCores() const { return num_cores_; }
+
+    int
+    bigActive() const
+    {
+        // A big core not counted active is stealing or done.
+        return state_census_.bigActive();
+    }
+
+    int64_t
+    coreDequeSize(int core) const
+    {
+        return static_cast<int64_t>(workers_[cores_[core].worker].dq.size());
+    }
+
+    bool
+    mugEngaged(int core) const
+    {
+        return cores_[core].mug_targeted || cores_[core].mug_peer >= 0;
+    }
+
   private:
     // --- scheduler data structures -------------------------------------
 
-    /** What a core is currently doing. */
-    enum class CoreState
-    {
-        stealing, ///< Spinning in the work-stealing loop.
-        running,  ///< Executing task work (or runtime overhead).
-        serial,   ///< Executing a truly serial region (thread 0 only).
-        mugging,  ///< Engaged in the mug swap protocol.
-        done,     ///< Program finished.
-    };
+    /**
+     * What a core is currently doing.  This is the shared
+     * sched::CoreActivity vocabulary — the policy components consume it
+     * directly through the SchedView interface.
+     */
+    using CoreState = sched::CoreActivity;
 
     /** What the core's pending completion event means. */
     enum class Pending
@@ -184,13 +243,10 @@ class Machine
     void onStealFetchDone(int c);
     void completeTask(int c, int32_t frame_id);
     void onChildJoined(int32_t parent_frame);
-    bool allBigActive() const;
-    int pickVictim(int c);
     void phaseTransition(int c);
 
     // --- mugging ------------------------------------------------------------
 
-    int pickMuggee(int c) const;
     void issueMug(int c, int target, bool for_phase);
     void onMugIssueDone(int c);
     void onMugSaveDone(int c);
@@ -263,12 +319,19 @@ class Machine
     SimResult result_;
     bool ran_ = false;
     bool trace_enabled_ = false;
-    uint64_t victim_rng_ = 0x9E3779B97F4A7C15ull;
+    /** Victim choice / biasing / mug policy stack (src/sched/). */
+    sched::PolicyStack policy_;
+    // Concrete selector for the hot steal path (exactly one non-null):
+    // calling `pickIn` on the concrete type keeps the per-worker
+    // occupancy probes statically dispatched.
+    sched::OccupancyVictimSelector *occ_victim_ = nullptr;
+    sched::RandomVictimSelector *rand_victim_ = nullptr;
     int active_count_ = 0;
     double contention_factor_ = 1.0;
     // Incremental activity census (running | serial | mugging cores).
-    int big_active_ = 0;
-    int little_active_ = 0;
+    sched::ActivityCensus state_census_;
+    // Census of the *hint bits* (what the DVFS controller sees).
+    sched::ActivityCensus hint_census_;
     // Occupancy-time accounting for the adaptive controller.
     int census_ba_ = 0;
     int census_la_ = 0;
@@ -278,6 +341,10 @@ class Machine
     std::vector<bool> hints_buf_;
     std::vector<double> targets_buf_;
 };
+
+// The policy templates bind Machine directly; keep the accessor set in
+// lockstep with the abstract sched::SchedView contract.
+static_assert(sched::SchedViewLike<Machine>);
 
 } // namespace aaws
 

@@ -98,6 +98,7 @@ class ScheduleShaker : public SchedulerHooks
     void onWorkerActive(int worker) override { shake(worker); }
     void onWorkerWaiting(int worker) override { shake(worker); }
     void onSpawn(int worker) override { shake(worker); }
+    void onRest(int worker) override { shake(worker); }
 
     void
     onStealAttempt(int thief, int victim) override
@@ -107,6 +108,25 @@ class ScheduleShaker : public SchedulerHooks
         // no stream; leave it unperturbed.
         if (thief >= 0)
             shake(thief);
+    }
+
+    void
+    onStealSuccess(int thief, int victim) override
+    {
+        (void)victim;
+        // Stretching the window between the committed steal and the
+        // task's execution is exactly where stale-occupancy and mug
+        // races hide.
+        if (thief >= 0)
+            shake(thief);
+    }
+
+    void
+    onMug(int mugger, int muggee) override
+    {
+        (void)muggee;
+        if (mugger >= 0)
+            shake(mugger);
     }
 
     /** Total perturbations injected so far (yields + spins). */

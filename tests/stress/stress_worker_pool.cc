@@ -20,7 +20,10 @@
 namespace aaws {
 namespace {
 
+using stress::baseSeed;
 using stress::envKnob;
+using stress::nthSeed;
+using stress::ScheduleShaker;
 
 TEST(WorkerPoolStress, SpawnQuiesceChurn)
 {
@@ -147,11 +150,52 @@ TEST(WorkerPoolStress, ActivityCensusStaysInBounds)
         int census = monitor.activeWorkers();
         ASSERT_GE(census, 0);
         ASSERT_LE(census, workers);
+        // Every committed steal reports through onStealSuccess.
+        ASSERT_EQ(monitor.stealSuccesses(), pool.steals());
     }
     for (int spin = 0; spin < 200'000 && monitor.activeWorkers() > 1;
          ++spin)
         std::this_thread::yield();
     EXPECT_EQ(monitor.activeWorkers(), 1);
+    // Idle workers exhaust their spin budget and park; the rest hook
+    // must have fired by the time the pool has been quiet this long.
+    for (int spin = 0; spin < 200'000 && monitor.rests() == 0; ++spin)
+        std::this_thread::yield();
+    EXPECT_GT(monitor.rests(), 0u);
+    // The default pool has mugging disabled: the hook must stay quiet.
+    EXPECT_EQ(monitor.mugs(), 0u);
+}
+
+TEST(WorkerPoolStress, PolicyStackPoolSurvivesShaking)
+{
+    // The full AAWS policy assembly (biasing + mugging + occupancy
+    // selection) under schedule perturbation: correctness must not
+    // depend on which worker a task lands on or on mug timing.
+    const int64_t rounds = envKnob("AAWS_STRESS_ROUNDS", 30, 6);
+    const int64_t n = 60'000;
+    const uint64_t seed = baseSeed();
+    for (int64_t round = 0; round < rounds; ++round) {
+        SCOPED_TRACE(testing::Message()
+                     << "round " << round << " seed 0x" << std::hex
+                     << nthSeed(seed, round));
+        ScheduleShaker shaker(nthSeed(seed, round), 4);
+        PoolOptions options;
+        options.policy.work_biasing = true;
+        options.policy.work_mugging = true;
+        options.n_big = 2;
+        options.hooks = &shaker;
+        WorkerPool pool(4, options);
+        std::atomic<int64_t> sum{0};
+        parallelFor(pool, 0, n, 128, [&](int64_t lo, int64_t hi) {
+            int64_t s = 0;
+            for (int64_t i = lo; i < hi; ++i)
+                s += i;
+            sum.fetch_add(s, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(sum.load(), n * (n - 1) / 2);
+        ASSERT_LE(pool.mugs(), pool.steals());
+        ASSERT_LE(pool.mugs(), pool.mugAttempts());
+    }
 }
 
 TEST(WorkerPoolStress, RecursiveInvokeStorm)

@@ -19,9 +19,56 @@ TEST(Variant, NamesRoundTrip)
     EXPECT_EQ(allVariants().size(), 5u);
 }
 
+TEST(Variant, LiteralNamesMatchThePaper)
+{
+    // Both directions against the literal spellings of Figures 7-9, so
+    // a renamed enumerator cannot silently re-shuffle the mapping.
+    EXPECT_STREQ(variantName(Variant::base), "base");
+    EXPECT_STREQ(variantName(Variant::base_p), "base+p");
+    EXPECT_STREQ(variantName(Variant::base_ps), "base+ps");
+    EXPECT_STREQ(variantName(Variant::base_psm), "base+psm");
+    EXPECT_STREQ(variantName(Variant::base_m), "base+m");
+    EXPECT_EQ(variantFromName("base"), Variant::base);
+    EXPECT_EQ(variantFromName("base+p"), Variant::base_p);
+    EXPECT_EQ(variantFromName("base+ps"), Variant::base_ps);
+    EXPECT_EQ(variantFromName("base+psm"), Variant::base_psm);
+    EXPECT_EQ(variantFromName("base+m"), Variant::base_m);
+}
+
 TEST(Variant, UnknownNameIsFatal)
 {
     EXPECT_DEATH((void)variantFromName("base+x"), "unknown variant");
+}
+
+TEST(Variant, NearMissNamesAreFatalToo)
+{
+    // Parsing is exact: no prefix matching, case folding, or trimming.
+    EXPECT_DEATH((void)variantFromName(""), "unknown variant");
+    EXPECT_DEATH((void)variantFromName("Base"), "unknown variant");
+    EXPECT_DEATH((void)variantFromName("base+"), "unknown variant");
+    EXPECT_DEATH((void)variantFromName("base+psmx"), "unknown variant");
+    EXPECT_DEATH((void)variantFromName(" base"), "unknown variant");
+}
+
+TEST(Variant, ApplyVariantMatchesPolicyConfigFor)
+{
+    // applyVariant and policyConfigFor must stay two views of the same
+    // switch table.
+    for (Variant v : allVariants()) {
+        MachineConfig config = MachineConfig::system4B4L();
+        applyVariant(config, v);
+        sched::PolicyConfig sp = policyConfigFor(v);
+        EXPECT_EQ(config.work_biasing, sp.work_biasing) << variantName(v);
+        EXPECT_EQ(config.work_mugging, sp.work_mugging) << variantName(v);
+        EXPECT_EQ(config.policy.serial_sprinting, sp.serial_sprinting)
+            << variantName(v);
+        EXPECT_EQ(config.policy.work_pacing, sp.work_pacing)
+            << variantName(v);
+        EXPECT_EQ(config.policy.work_sprinting, sp.work_sprinting)
+            << variantName(v);
+        // The ablation victim knob is not a variant concern.
+        EXPECT_FALSE(config.random_victim) << variantName(v);
+    }
 }
 
 TEST(Metrics, SpeedupAndEfficiencyGainOnHandBuiltResults)

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -425,6 +426,70 @@ TEST(Hooks, NullHooksAreSafe)
         group.run([&ran] { ran.fetch_add(1); });
     group.wait();
     EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Hooks, StealSuccessReportsEveryCommittedSteal)
+{
+    ActivityMonitor monitor(4);
+    WorkerPool pool(4, &monitor);
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 2000; ++i) {
+        group.run([&ran] {
+            volatile int x = 0;
+            for (int j = 0; j < 1000; ++j)
+                x += j;
+            ran.fetch_add(1);
+        });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 2000);
+    EXPECT_EQ(monitor.stealSuccesses(), pool.steals());
+    // With this much work and three hungry workers, something stole.
+    EXPECT_GT(monitor.stealSuccesses(), 0u);
+}
+
+TEST(Hooks, RestFiresWhenWorkersPark)
+{
+    ActivityMonitor monitor(3);
+    WorkerPool pool(3, &monitor);
+    // Idle workers exhaust their spin budget and park on the wakeup
+    // condition variable, announcing the rest through the hook.
+    for (int spin = 0; spin < 200'000 && monitor.rests() == 0; ++spin)
+        std::this_thread::yield();
+    EXPECT_GT(monitor.rests(), 0u);
+    // Mugging is off in a default pool: no mug may ever be reported.
+    EXPECT_EQ(monitor.mugs(), 0u);
+    EXPECT_EQ(pool.mugAttempts(), 0u);
+}
+
+TEST(Hooks, SequencedTransitionsObserveNewCallbacks)
+{
+    // Drive the hint machinery deterministically from the master:
+    // tryTakeTask failures toggle waiting on the second miss, a found
+    // task toggles active, and the new callbacks interleave with the
+    // legacy ones in order.
+    struct Recorder : SchedulerHooks
+    {
+        std::vector<std::string> events;
+        void onWorkerActive(int) override { events.push_back("active"); }
+        void onWorkerWaiting(int) override { events.push_back("wait"); }
+        void
+        onStealSuccess(int, int) override
+        {
+            events.push_back("steal");
+        }
+    };
+    Recorder recorder;
+    WorkerPool pool(1, &recorder); // master only: single-threaded
+    EXPECT_EQ(pool.tryTakeTask(), nullptr);
+    EXPECT_EQ(pool.tryTakeTask(), nullptr); // 2nd miss: waiting
+    pool.spawn([] {});
+    RtTask *task = pool.tryTakeTask(); // own pop: active again
+    ASSERT_NE(task, nullptr);
+    task->invoke(task);
+    std::vector<std::string> expect = {"wait", "active"};
+    EXPECT_EQ(recorder.events, expect); // own pops are not steals
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "serve/sim_server.h"
 #include "sim/machine.h"
 #include "sim/result_json.h"
 
@@ -36,6 +37,8 @@ canonicalSpec(const RunSpec &spec)
     if (o.regulator_ns_per_step)
         out += ";regulator_ns_per_step=" +
                json::encodeDouble(*o.regulator_ns_per_step);
+    if (spec.serve)
+        out += serve::canonicalServeFragment(*spec.serve);
     return out;
 }
 
@@ -85,11 +88,20 @@ executeSpec(const RunSpec &spec)
 RunResult
 executeSpec(const RunSpec &spec, const Kernel &kernel)
 {
-    MachineConfig config = configForSpec(kernel, spec);
     RunResult result;
     result.kernel = spec.kernel;
     result.system = spec.system;
     result.variant = spec.variant;
+    if (spec.serve) {
+        // Serving runs re-derive their own kernel instances (one per
+        // service-table sample, each under a derived seed), so the
+        // batch-memoized kernel is not used here.
+        result.sim = serve::simulateService(spec.kernel, spec.system,
+                                            spec.variant, spec.seed,
+                                            *spec.serve);
+        return result;
+    }
+    MachineConfig config = configForSpec(kernel, spec);
     result.sim = Machine(config, kernel.dag).run();
     return result;
 }

@@ -19,6 +19,7 @@
 
 #include "aaws/experiment.h"
 #include "common/json.h"
+#include "serve/spec.h"
 
 namespace aaws {
 namespace exp {
@@ -28,8 +29,11 @@ namespace exp {
  * invalidates all previously cached results.  Bump whenever the
  * simulator's numeric behaviour, the RunSpec fields, or the result
  * serialization format change.
+ *
+ * v3: RunSpec grew the optional open-loop serving dimension (`serve`),
+ * and SimResult grew the ServeStats block those runs fill.
  */
-inline constexpr uint32_t kCacheSchemaVersion = 2;
+inline constexpr uint32_t kCacheSchemaVersion = 3;
 
 /** Default workload-synthesis seed (same as kernels/registry.h). */
 inline constexpr uint64_t kDefaultSeed = 0xA57'5EEDull;
@@ -78,6 +82,14 @@ struct RunSpec
     uint64_t seed = kDefaultSeed;
     bool collect_trace = false;
     SpecOverrides overrides;
+    /**
+     * Open-loop serving dimension: when set, executeSpec() runs the
+     * request-level serving simulation (serve/sim_server.h) instead of
+     * one closed-loop Machine::run(), and the result's `sim.serve`
+     * block is filled.  Every field participates in the canonical form
+     * — a serving sweep can never alias a closed-loop cache entry.
+     */
+    std::optional<serve::ServeSpec> serve;
 };
 
 /**

@@ -362,6 +362,52 @@ buildClaims()
                  "base+psm", "efficiency_gain"},
                 1.0, 0.0));
 
+    // --- Open-loop serving: tail latency under arrival-driven load -
+    // The serving scenario has no direct figure in the paper; the
+    // claims are the queueing-theoretic consequences of Section V's
+    // per-request results (shorter service times compound through the
+    // queue into tail wins) plus exact conservation properties of the
+    // serving harness itself, on both engines.
+    const char *serve = "serve_tail_latency";
+    add(atMost("serve/sim_ps_p99_u70", "Sec. V-C",
+               "work-sprinting cuts p99 vs the ASYM baseline at 70% "
+               "utilization (Poisson arrivals, sim engine)",
+               {serve, "sim_poisson_u70", "dict", "4B4L", "base+ps",
+                "p99_vs_base"},
+               1.0, 0.0));
+    add(atMost("serve/sim_psm_p99_u70", "Sec. V-C",
+               "full AAWS (base+psm) cuts p99 vs the ASYM baseline at "
+               "70% utilization (Poisson arrivals, sim engine)",
+               {serve, "sim_poisson_u70", "dict", "4B4L", "base+psm",
+                "p99_vs_base"},
+               1.0, 0.0));
+    add(atLeast("serve/sim_tail_ratio_u70", "queueing sanity",
+                "p99 dominates p50 under load (histogram sanity)",
+                {serve, "sim_poisson_u70", "dict", "4B4L", "base",
+                 "tail_ratio"},
+                1.0, 0.0));
+    add(atLeast("serve/sim_completed_u30", "queueing sanity",
+                "at 30% utilization the bounded queue sheds (almost) "
+                "nothing",
+                {serve, "sim_poisson_u30", "dict", "4B4L", "base",
+                 "completed_fraction"},
+                0.99, 0.01));
+    add(atLeast("serve/mmpp_tail_vs_poisson_u50", "Sec. II",
+                "bursty (MMPP) arrivals at the same mean rate have "
+                "heavier tails than Poisson",
+                agg(serve, "sim_summary", "mmpp_tail_vs_poisson_u50"),
+                1.0, 0.0));
+    add(exact("serve/sim_conservation_u70", "harness invariant",
+              "sim engine: shed + completed == submitted",
+              {serve, "sim_poisson_u70", "dict", "4B4L", "base",
+               "accounting_gap"},
+              0.0));
+    add(exact("serve/native_conservation_u70", "harness invariant",
+              "native engine: shed + completed == submitted",
+              {serve, "native_poisson_u70", "dict", "4B4L", "base",
+               "accounting_gap"},
+              0.0));
+
     return claims;
 }
 

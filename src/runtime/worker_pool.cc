@@ -61,6 +61,8 @@ WorkerPool::~WorkerPool()
         while (dq->steal(task))
             delete task;
     }
+    while (RtTask *task = tryTakeInjected())
+        delete task;
     if (tls_pool == this) {
         tls_pool = nullptr;
         tls_worker = -1;
@@ -88,6 +90,31 @@ WorkerPool::spawnTask(RtTask *task)
     wakeOne();
 }
 
+void
+WorkerPool::enqueueTask(RtTask *task)
+{
+    {
+        std::lock_guard<std::mutex> lock(inject_mutex_);
+        injected_.push_back(task);
+        injected_count_.fetch_add(1, std::memory_order_release);
+    }
+    wakeOne();
+}
+
+RtTask *
+WorkerPool::tryTakeInjected()
+{
+    if (injected_count_.load(std::memory_order_acquire) == 0)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (injected_.empty())
+        return nullptr;
+    RtTask *task = injected_.front();
+    injected_.pop_front();
+    injected_count_.fetch_sub(1, std::memory_order_release);
+    return task;
+}
+
 RtTask *
 WorkerPool::tryTakeTask()
 {
@@ -106,6 +133,13 @@ WorkerPool::tryTakeTask()
     if (self >= 0 && !policy_.gate.allowSteal(view, self)) {
         noteFailed(self);
         return nullptr;
+    }
+    // Injected (open-loop arrival) work sits behind the biasing gate
+    // like any foreign deque: a gated-out little never grabs a root
+    // request an idle big could start sooner.
+    if ((task = tryTakeInjected())) {
+        noteFound(self);
+        return task;
     }
     int victim = self >= 0 ? victims_[self]->pick(view, self)
                            : foreign_victim_.pick(view, self);

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -131,6 +132,21 @@ class WorkerPool : private sched::SchedView
             std::forward<F>(fn)));
     }
 
+    /**
+     * Submit a closure from *any* thread — the open-loop ingest path.
+     * Unlike spawn(), which requires a pool thread (deque pushes are
+     * owner-only), enqueue() lands the task in a mutex-guarded FIFO
+     * injection queue that every worker drains alongside stealing, so
+     * a foreign arrival thread can feed a running pool continuously.
+     */
+    template <typename F>
+    void
+    enqueue(F &&fn)
+    {
+        enqueueTask(new detail::ClosureTask<std::decay_t<F>>(
+            std::forward<F>(fn)));
+    }
+
     /** Total successful steals (statistics; includes mugs). */
     uint64_t steals() const
     {
@@ -157,6 +173,9 @@ class WorkerPool : private sched::SchedView
     /** Push a heap task on the current worker's deque. */
     void spawnTask(RtTask *task);
 
+    /** Type-erased enqueue(); thread-safe, wakes a sleeping worker. */
+    void enqueueTask(RtTask *task);
+
     /**
      * Take one unit of work: own deque first, then a policy-selected
      * victim (gated by work-biasing), then — for a starved big worker
@@ -176,6 +195,7 @@ class WorkerPool : private sched::SchedView
     void noteFound(int self);
     void noteFailed(int self);
     RtTask *tryMug(int self);
+    RtTask *tryTakeInjected();
 
     // --- sched::SchedView (concurrent snapshots) ------------------------
 
@@ -236,6 +256,15 @@ class WorkerPool : private sched::SchedView
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;
     std::atomic<int> sleepers_{0};
+
+    /**
+     * Foreign-thread injection queue (enqueue()).  The count mirrors
+     * the queue size so the take path can skip the mutex when empty —
+     * the common case for closed-loop workloads.
+     */
+    std::mutex inject_mutex_;
+    std::deque<RtTask *> injected_;
+    std::atomic<size_t> injected_count_{0};
 };
 
 } // namespace aaws

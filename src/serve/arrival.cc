@@ -1,0 +1,47 @@
+#include "serve/arrival.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+namespace serve {
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalSpec &spec, uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    AAWS_ASSERT(spec.rate_hz > 0.0, "arrival rate must be positive");
+    if (spec_.kind == ArrivalKind::mmpp) {
+        rates_ = mmppRates(spec_);
+        // Streams start in the idle state: the first burst arrives
+        // after one idle dwell, and the long-run rate is unaffected.
+        in_burst_ = false;
+        state_end_ = rng_.exponential(spec_.mean_idle_s);
+    }
+}
+
+double
+ArrivalGenerator::next()
+{
+    if (spec_.kind == ArrivalKind::poisson) {
+        now_ += rng_.exponential(1.0 / spec_.rate_hz);
+        return now_;
+    }
+    for (;;) {
+        double rate = in_burst_ ? rates_.burst_hz : rates_.idle_hz;
+        double gap = rng_.exponential(1.0 / rate);
+        if (now_ + gap < state_end_) {
+            now_ += gap;
+            return now_;
+        }
+        // The candidate gap crosses the state switch: advance to the
+        // switch point and redraw at the new state's rate.  Truncating
+        // an exponential and redrawing is distribution-exact.
+        now_ = state_end_;
+        in_burst_ = !in_burst_;
+        state_end_ = now_ + rng_.exponential(in_burst_
+                                                 ? spec_.mean_burst_s
+                                                 : spec_.mean_idle_s);
+    }
+}
+
+} // namespace serve
+} // namespace aaws

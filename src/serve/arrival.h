@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic arrival-time generators for the open-loop service.
+ *
+ * An ArrivalGenerator turns one tenant's ArrivalSpec and a seed into a
+ * strictly ordered stream of absolute arrival times (seconds from the
+ * stream's origin).  Poisson streams draw i.i.d. exponential gaps; the
+ * two-state MMPP alternates exponentially-dwelling burst/idle states
+ * and draws gaps at the current state's rate, re-drawing from the
+ * switch point when a gap crosses a state boundary (the exponential's
+ * memorylessness makes the truncate-and-redraw exact).
+ *
+ * Both engines consume these times: the simulator's request-level DES
+ * directly, the native server by pacing a wall clock against them.
+ * Equal (spec, seed) pairs produce bit-identical streams — the
+ * statistical unit tests and the serving determinism fuzz rely on it.
+ */
+
+#ifndef AAWS_SERVE_ARRIVAL_H
+#define AAWS_SERVE_ARRIVAL_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "serve/spec.h"
+
+namespace aaws {
+namespace serve {
+
+class ArrivalGenerator
+{
+  public:
+    ArrivalGenerator(const ArrivalSpec &spec, uint64_t seed);
+
+    /** Next absolute arrival time, strictly increasing (seconds). */
+    double next();
+
+    /** In the burst state now? (Poisson streams are never bursty.) */
+    bool inBurst() const { return in_burst_; }
+
+  private:
+    ArrivalSpec spec_;
+    MmppRates rates_;
+    Rng rng_;
+    double now_ = 0.0;
+    /** Absolute time the current MMPP state expires. */
+    double state_end_ = 0.0;
+    bool in_burst_ = false;
+};
+
+} // namespace serve
+} // namespace aaws
+
+#endif // AAWS_SERVE_ARRIVAL_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Native-runtime open-loop service: a live ingest loop feeding the
+ * work-stealing WorkerPool from a wall-clock-paced arrival stream.
+ *
+ * The sim-side engine (serve/sim_server.h) answers "what would the
+ * modeled machine do"; this engine answers "does the real runtime
+ * survive the same arrival process".  A foreign ingest thread replays
+ * the identical per-tenant arrival schedule (same ArrivalGenerator,
+ * same seed salts) against a steady clock and submits each admitted
+ * request through WorkerPool::enqueue() — the injection path added for
+ * exactly this purpose, since deque pushes are owner-only.  Each
+ * request is a small fork-join spin tree, so admitted work exercises
+ * spawn, steal, the biasing gate, and (per variant) the mug path.
+ *
+ * Measurement is contention-free by construction: every worker owns a
+ * cache-line-padded slot with its own LatencyHistogram and counters,
+ * merged once at the end.  Energy is integrated by an internal
+ * SchedulerHooks adapter that maps the runtime's activity-hint
+ * transitions onto the EnergyAccountant's power states (active at
+ * v_nom, waiting at v_nom, resting at v_min), which is the same
+ * state machine the paper's DVFS controller observes.
+ *
+ * Native runs are *statistically* reproducible, not bit-identical:
+ * wall-clock pacing and thread interleaving are real.  The invariants
+ * the stress suite checks are exact, though — shed + completed ==
+ * submitted, the in-system census never exceeds queue_cap, and
+ * shutdown is clean with requests still in flight.
+ */
+
+#ifndef AAWS_SERVE_NATIVE_SERVER_H
+#define AAWS_SERVE_NATIVE_SERVER_H
+
+#include <cstdint>
+
+#include "aaws/variant.h"
+#include "runtime/hooks.h"
+#include "serve/spec.h"
+#include "sim/serve_stats.h"
+
+namespace aaws {
+namespace serve {
+
+/** Configuration of one native serving run. */
+struct NativeServeOptions
+{
+    /** Arrival process, request count, tenants, queue bound, deadline. */
+    ServeSpec spec;
+    /** Pool size including the master (>= 1). */
+    int threads = 2;
+    /** Workers 0..n_big-1 count as big cores for policy and energy. */
+    int n_big = 1;
+    /** Which AAWS technique subset the pool's policy stack enables. */
+    Variant variant = Variant::base;
+    /** Base seed; arrival streams replay the sim engine's schedule. */
+    uint64_t seed = 1;
+    /** Mean spin iterations per request (clamped to >= 1). */
+    uint64_t work_per_request = 20000;
+    /** Fork-join chunks each request splits into (clamped to >= 1). */
+    uint32_t fanout = 4;
+    /** Optional extra observer chained behind the energy adapter. */
+    SchedulerHooks *hooks = nullptr;
+};
+
+/** Outcome of one native serving run. */
+struct NativeServeResult
+{
+    /** Same shape the sim engine fills; histogram-backed quantiles. */
+    ServeStats stats;
+    /** Pool statistics over the serving window. */
+    uint64_t steals = 0;
+    uint64_t mug_attempts = 0;
+    uint64_t mugs = 0;
+    /** Wall time of the whole run, ingest start to last completion. */
+    double wall_seconds = 0.0;
+    /** XOR of all spin-work results (defeats dead-code elimination). */
+    uint64_t checksum = 0;
+};
+
+/**
+ * Run the open-loop service against a live WorkerPool and block until
+ * every admitted request has completed.  The pool, ingest thread, and
+ * energy accountant live inside the call; the master (calling) thread
+ * executes tasks in the pool's help loop for the duration.
+ */
+NativeServeResult runNativeService(const NativeServeOptions &options);
+
+/**
+ * Calibrate the native service time: run `reps` requests back-to-back
+ * (closed-loop, no arrival pacing) on an identically configured pool
+ * and return the mean seconds per request.  The serving bench anchors
+ * its utilization sweep on this number, mirroring how the sim engine
+ * anchors on meanServiceSeconds().
+ */
+double measureNativeServiceSeconds(const NativeServeOptions &options,
+                                   uint32_t reps);
+
+} // namespace serve
+} // namespace aaws
+
+#endif // AAWS_SERVE_NATIVE_SERVER_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulator-side open-loop service: a request-level discrete-event
+ * simulation over Machine-sampled service times.
+ *
+ * Running the full multicore simulator once per request would cap a
+ * sweep at a few hundred requests; tail percentiles need orders of
+ * magnitude more.  The engine therefore splits the problem in two
+ * exact layers (DESIGN.md §8):
+ *
+ *  1. Service table: `service_samples` complete Machine simulations of
+ *     the kernel under the requested shape/variant, each from an
+ *     independently derived workload seed.  Every sample carries the
+ *     simulated execution time, energy, and instruction count of one
+ *     whole kernel-DAG request — all of the AAWS machinery (pacing,
+ *     sprinting, mugging, DVFS) is priced into these numbers by the
+ *     cycle-approximate simulator itself.
+ *  2. Request-level DES: tenant arrival streams (serve/arrival.h) feed
+ *     a FCFS single-server queue — the machine serves one DAG at a
+ *     time, exactly like the closed-loop runs — with a bounded
+ *     admission queue (arrivals beyond queue_cap are shed) and
+ *     per-request deadlines.  Each admitted request draws its service
+ *     time from the table.  This layer is O(1) per request, so
+ *     millions of simulated requests cost milliseconds.
+ *
+ * Everything is seeded and sequential: equal (kernel, shape, variant,
+ * seed, spec) produce bit-identical ServeStats, independent of engine
+ * thread count.
+ */
+
+#ifndef AAWS_SERVE_SIM_SERVER_H
+#define AAWS_SERVE_SIM_SERVER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aaws/experiment.h"
+#include "serve/spec.h"
+#include "sim/result.h"
+
+namespace aaws {
+namespace serve {
+
+/** One sampled whole-request service observation. */
+struct ServiceSample
+{
+    double seconds = 0.0;
+    double energy = 0.0;
+    uint64_t instructions = 0;
+};
+
+/**
+ * Run `samples` seeded Machine simulations of (kernel, shape, variant)
+ * and return their service observations.  Sample k's workload seed is
+ * deriveSeed(seed, k), so tables for different base seeds are
+ * independent while equal seeds reproduce bit-identically.
+ */
+std::vector<ServiceSample>
+sampleServiceTable(const std::string &kernel, SystemShape shape,
+                   Variant variant, uint64_t seed, uint32_t samples);
+
+/** Mean of the table's service times (the utilization anchor). */
+double meanServiceSeconds(const std::vector<ServiceSample> &table);
+
+/**
+ * Full sim-side serving run: sample the service table, then push the
+ * spec's arrival streams through the bounded FCFS queue.  Returns a
+ * SimResult whose `serve` member is enabled and filled; the top-level
+ * fields summarize the serving window (exec_seconds = makespan,
+ * energy/instructions/tasks_executed = completed-request totals).
+ */
+SimResult simulateService(const std::string &kernel, SystemShape shape,
+                          Variant variant, uint64_t seed,
+                          const ServeSpec &spec);
+
+/** Same, over an already-sampled table (the sweep's fast path). */
+SimResult simulateService(const std::vector<ServiceSample> &table,
+                          uint64_t seed, const ServeSpec &spec);
+
+} // namespace serve
+} // namespace aaws
+
+#endif // AAWS_SERVE_SIM_SERVER_H

@@ -1,0 +1,88 @@
+#include "serve/spec.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace aaws {
+namespace serve {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+    case ArrivalKind::poisson:
+        return "poisson";
+    case ArrivalKind::mmpp:
+        return "mmpp";
+    }
+    return "?";
+}
+
+bool
+arrivalKindFromName(const std::string &name, ArrivalKind &out)
+{
+    for (ArrivalKind kind : {ArrivalKind::poisson, ArrivalKind::mmpp}) {
+        if (name == arrivalKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+MmppRates
+mmppRates(const ArrivalSpec &spec)
+{
+    AAWS_ASSERT(spec.mean_burst_s > 0.0 && spec.mean_idle_s > 0.0,
+                "MMPP dwell means must be positive");
+    AAWS_ASSERT(spec.burst_factor >= 1.0,
+                "MMPP burst factor must be >= 1");
+    // Long-run burst-state fraction, then split the target mean rate:
+    //   rate = p_burst * r_burst + (1 - p_burst) * r_idle,
+    //   r_burst = burst_factor * r_idle.
+    double p_burst =
+        spec.mean_burst_s / (spec.mean_burst_s + spec.mean_idle_s);
+    MmppRates rates;
+    rates.idle_hz = spec.rate_hz /
+                    (p_burst * spec.burst_factor + (1.0 - p_burst));
+    rates.burst_hz = spec.burst_factor * rates.idle_hz;
+    return rates;
+}
+
+std::string
+canonicalServeFragment(const ServeSpec &spec)
+{
+    std::string out = strfmt(
+        ";serve.kind=%s;serve.rate_hz=%s",
+        arrivalKindName(spec.arrival.kind),
+        json::encodeDouble(spec.arrival.rate_hz).c_str());
+    if (spec.arrival.kind == ArrivalKind::mmpp)
+        out += strfmt(";serve.burst_factor=%s;serve.mean_burst_s=%s"
+                      ";serve.mean_idle_s=%s",
+                      json::encodeDouble(spec.arrival.burst_factor)
+                          .c_str(),
+                      json::encodeDouble(spec.arrival.mean_burst_s)
+                          .c_str(),
+                      json::encodeDouble(spec.arrival.mean_idle_s)
+                          .c_str());
+    out += strfmt(";serve.requests=%llu;serve.tenants=%u"
+                  ";serve.queue_cap=%u;serve.deadline_s=%s"
+                  ";serve.service_samples=%u",
+                  static_cast<unsigned long long>(spec.requests),
+                  spec.tenants, spec.queue_cap,
+                  json::encodeDouble(spec.deadline_s).c_str(),
+                  spec.service_samples);
+    return out;
+}
+
+uint64_t
+deriveSeed(uint64_t base, uint64_t salt)
+{
+    uint64_t z = base + (salt + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace serve
+} // namespace aaws

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/serve_stats.h"
 #include "sim/trace.h"
 
 namespace aaws {
@@ -93,6 +94,12 @@ struct SimResult
     std::vector<double> occupancy_seconds;
     /** Activity trace (only populated when collect_trace is set). */
     ActivityTrace trace;
+    /**
+     * Open-loop serving statistics; disabled (and not serialized) for
+     * classic closed-loop runs.  Filled by src/serve/, never by
+     * Machine::run() itself.
+     */
+    ServeStats serve;
 };
 
 } // namespace aaws

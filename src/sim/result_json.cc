@@ -126,6 +126,48 @@ simResultToJson(const SimResult &result)
     trace.push_back('}');
     appendField(out, "trace", trace);
 
+    // Serving statistics appear only on serving runs, so classic
+    // closed-loop records keep their historical shape byte-for-byte.
+    if (result.serve.enabled) {
+        const ServeStats &s = result.serve;
+        std::string serve = "{";
+        appendField(serve, "submitted", u64(s.submitted), true);
+        appendField(serve, "completed", u64(s.completed));
+        appendField(serve, "shed", u64(s.shed));
+        appendField(serve, "deadline_misses", u64(s.deadline_misses));
+        appendField(serve, "peak_queue", u64(s.peak_queue));
+        appendField(serve, "makespan_seconds",
+                    json::encodeDouble(s.makespan_seconds));
+        appendField(serve, "energy", json::encodeDouble(s.energy));
+        appendField(serve, "energy_per_request",
+                    json::encodeDouble(s.energy_per_request));
+        appendField(serve, "p50", json::encodeDouble(s.p50));
+        appendField(serve, "p95", json::encodeDouble(s.p95));
+        appendField(serve, "p99", json::encodeDouble(s.p99));
+        appendField(serve, "p999", json::encodeDouble(s.p999));
+        appendField(serve, "mean_latency",
+                    json::encodeDouble(s.mean_latency));
+        appendField(serve, "latency", s.latency.toJson());
+        std::string completed = "[";
+        for (size_t i = 0; i < s.tenant_completed.size(); ++i) {
+            if (i)
+                completed.push_back(',');
+            completed += u64(s.tenant_completed[i]);
+        }
+        completed.push_back(']');
+        appendField(serve, "tenant_completed", completed);
+        std::string shed = "[";
+        for (size_t i = 0; i < s.tenant_shed.size(); ++i) {
+            if (i)
+                shed.push_back(',');
+            shed += u64(s.tenant_shed[i]);
+        }
+        shed.push_back(']');
+        appendField(serve, "tenant_shed", shed);
+        serve.push_back('}');
+        appendField(out, "serve", serve);
+    }
+
     out.push_back('}');
     return out;
 }
@@ -226,6 +268,51 @@ simResultFromJson(const json::Value &value, SimResult &out)
                          static_cast<double>(voltage));
     }
     out.trace.setEnd(static_cast<Tick>(end));
+
+    // "serve" is optional (absent on closed-loop records) but strict
+    // when present.
+    if (const json::Value *serve = value.find("serve")) {
+        if (serve->kind != json::Value::Kind::object)
+            return false;
+        ServeStats &s = out.serve;
+        s.enabled = true;
+        if (!readU64(*serve, "submitted", s.submitted) ||
+            !readU64(*serve, "completed", s.completed) ||
+            !readU64(*serve, "shed", s.shed) ||
+            !readU64(*serve, "deadline_misses", s.deadline_misses) ||
+            !readU64(*serve, "peak_queue", s.peak_queue) ||
+            !readDouble(*serve, "makespan_seconds",
+                        s.makespan_seconds) ||
+            !readDouble(*serve, "energy", s.energy) ||
+            !readDouble(*serve, "energy_per_request",
+                        s.energy_per_request) ||
+            !readDouble(*serve, "p50", s.p50) ||
+            !readDouble(*serve, "p95", s.p95) ||
+            !readDouble(*serve, "p99", s.p99) ||
+            !readDouble(*serve, "p999", s.p999) ||
+            !readDouble(*serve, "mean_latency", s.mean_latency))
+            return false;
+        const json::Value *latency = serve->find("latency");
+        if (!latency || !LatencyHistogram::fromJson(*latency, s.latency))
+            return false;
+        auto readU64Array = [&](const char *name,
+                                std::vector<uint64_t> &dst) {
+            const json::Value *array = serve->find(name);
+            if (!array || array->kind != json::Value::Kind::array)
+                return false;
+            dst.reserve(array->items.size());
+            for (const json::Value &item : array->items) {
+                uint64_t n = 0;
+                if (!item.getU64(n))
+                    return false;
+                dst.push_back(n);
+            }
+            return true;
+        };
+        if (!readU64Array("tenant_completed", s.tenant_completed) ||
+            !readU64Array("tenant_shed", s.tenant_shed))
+            return false;
+    }
     return true;
 }
 

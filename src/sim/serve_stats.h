@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-run statistics of an open-loop serving experiment (src/serve/).
+ *
+ * Both serving engines — the request-level discrete-event simulation
+ * over the machine simulator's sampled service times, and the live
+ * ingest loop on the native WorkerPool — fill the same structure, so
+ * the experiment engine, the artifact emitters, and the determinism
+ * harness treat closed-loop and serving runs uniformly: a SimResult
+ * carries a ServeStats member that is simply disabled for classic
+ * single-DAG runs.
+ */
+
+#ifndef AAWS_SIM_SERVE_STATS_H
+#define AAWS_SIM_SERVE_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace aaws {
+
+/** Everything one serving run produces on top of a SimResult. */
+struct ServeStats
+{
+    /** False for classic closed-loop runs (no serving fields emitted). */
+    bool enabled = false;
+
+    /** Requests that arrived (across all tenants). */
+    uint64_t submitted = 0;
+    /** Requests that completed service. */
+    uint64_t completed = 0;
+    /** Requests dropped by admission control (queue at capacity). */
+    uint64_t shed = 0;
+    /** Completed requests whose latency exceeded their deadline. */
+    uint64_t deadline_misses = 0;
+    /** Largest number of requests ever in the system at once. */
+    uint64_t peak_queue = 0;
+
+    /** Time of the last completion (seconds from the first arrival). */
+    double makespan_seconds = 0.0;
+    /** Service energy of the completed requests (model units). */
+    double energy = 0.0;
+    /** energy / completed (0 when nothing completed). */
+    double energy_per_request = 0.0;
+
+    /** Quantiles extracted from `latency` (seconds). */
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    /** Bucket-midpoint mean latency (seconds). */
+    double mean_latency = 0.0;
+
+    /** Full per-request latency histogram (arrival to completion). */
+    LatencyHistogram latency;
+
+    /** Per-tenant completed / shed splits (size = tenant count). */
+    std::vector<uint64_t> tenant_completed;
+    std::vector<uint64_t> tenant_shed;
+
+    /** Extract the quantile/mean summary fields from `latency`. */
+    void
+    finalizeQuantiles()
+    {
+        p50 = latency.quantile(0.50);
+        p95 = latency.quantile(0.95);
+        p99 = latency.quantile(0.99);
+        p999 = latency.quantile(0.999);
+        mean_latency = latency.mean();
+        energy_per_request =
+            completed > 0 ? energy / static_cast<double>(completed) : 0.0;
+    }
+};
+
+} // namespace aaws
+
+#endif // AAWS_SIM_SERVE_STATS_H

@@ -75,6 +75,34 @@ expectIdenticalResults(const SimResult &a, const SimResult &b)
                        "occupancy_seconds");
     }
 
+    // Serving stats, when enabled, replay bit-for-bit: counts,
+    // quantiles, the whole latency histogram, and per-tenant tallies.
+    ASSERT_EQ(a.serve.enabled, b.serve.enabled);
+    if (a.serve.enabled) {
+        EXPECT_EQ(a.serve.submitted, b.serve.submitted);
+        EXPECT_EQ(a.serve.completed, b.serve.completed);
+        EXPECT_EQ(a.serve.shed, b.serve.shed);
+        EXPECT_EQ(a.serve.deadline_misses, b.serve.deadline_misses);
+        EXPECT_EQ(a.serve.peak_queue, b.serve.peak_queue);
+        expectBitEqual(a.serve.makespan_seconds,
+                       b.serve.makespan_seconds,
+                       "serve.makespan_seconds");
+        expectBitEqual(a.serve.energy, b.serve.energy, "serve.energy");
+        expectBitEqual(a.serve.energy_per_request,
+                       b.serve.energy_per_request,
+                       "serve.energy_per_request");
+        expectBitEqual(a.serve.p50, b.serve.p50, "serve.p50");
+        expectBitEqual(a.serve.p95, b.serve.p95, "serve.p95");
+        expectBitEqual(a.serve.p99, b.serve.p99, "serve.p99");
+        expectBitEqual(a.serve.p999, b.serve.p999, "serve.p999");
+        expectBitEqual(a.serve.mean_latency, b.serve.mean_latency,
+                       "serve.mean_latency");
+        EXPECT_TRUE(a.serve.latency == b.serve.latency)
+            << "latency histograms differ";
+        EXPECT_EQ(a.serve.tenant_completed, b.serve.tenant_completed);
+        EXPECT_EQ(a.serve.tenant_shed, b.serve.tenant_shed);
+    }
+
     // Activity traces, when collected, must replay record-for-record.
     ASSERT_EQ(a.trace.records().size(), b.trace.records().size());
     for (size_t i = 0; i < a.trace.records().size(); ++i) {

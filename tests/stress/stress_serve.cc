@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Native-server stress: an open-loop ingest thread flooding a live
+ * WorkerPool at 2x its measured capacity, with the schedule shaker
+ * perturbing every scheduler instrumentation point.  The properties
+ * under test are the ones a serving runtime must not lose under
+ * adversarial interleavings:
+ *
+ *  - no deadlock: every run finishes (the suite's TIMEOUT bounds it),
+ *  - bounded admission: the in-system count never exceeds queue_cap,
+ *  - conservation: shed + completed == submitted, per tenant too,
+ *  - clean shutdown: pool, ingest thread, and energy hooks tear down
+ *    with nothing in flight, repeatedly.
+ *
+ * Iteration counts read AAWS_SERVE_STRESS_* knobs with sanitizer-aware
+ * defaults (see stress_util.h); failures log their seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/native_server.h"
+#include "stress_util.h"
+
+namespace aaws {
+namespace {
+
+/** Shared workload shape of every stress run. */
+serve::NativeServeOptions
+baseOptions()
+{
+    serve::NativeServeOptions options;
+    options.threads = 3;
+    options.n_big = 1;
+    options.work_per_request = 3000;
+    options.fanout = 3;
+    return options;
+}
+
+void
+expectConserved(const serve::NativeServeResult &result,
+                const serve::ServeSpec &spec)
+{
+    const ServeStats &stats = result.stats;
+    ASSERT_TRUE(stats.enabled);
+    EXPECT_EQ(stats.submitted, spec.requests);
+    EXPECT_EQ(stats.completed + stats.shed, stats.submitted);
+    EXPECT_LE(stats.peak_queue, spec.queue_cap);
+    EXPECT_EQ(stats.latency.count(), stats.completed);
+    ASSERT_EQ(stats.tenant_completed.size(), spec.tenants);
+    ASSERT_EQ(stats.tenant_shed.size(), spec.tenants);
+    uint64_t by_tenant = 0;
+    for (uint32_t t = 0; t < spec.tenants; ++t)
+        by_tenant += stats.tenant_completed[t] + stats.tenant_shed[t];
+    EXPECT_EQ(by_tenant, stats.submitted);
+    EXPECT_GT(stats.completed, 0u)
+        << "an overloaded server still serves at its capacity";
+    EXPECT_GT(stats.makespan_seconds, 0.0);
+}
+
+TEST(StressServe, TwiceCapacityOverloadConservesUnderShaking)
+{
+    const int64_t runs = stress::envKnob("AAWS_SERVE_STRESS_RUNS", 10, 4);
+    const uint64_t requests = static_cast<uint64_t>(
+        stress::envKnob("AAWS_SERVE_STRESS_REQUESTS", 500, 160));
+    serve::NativeServeOptions calibrate = baseOptions();
+    double service_s =
+        serve::measureNativeServiceSeconds(calibrate, 32);
+    ASSERT_GT(service_s, 0.0);
+
+    uint64_t total_shed = 0;
+    for (int64_t i = 0; i < runs; ++i) {
+        uint64_t seed = stress::nthSeed(stress::baseSeed(), 0x5E21 + i);
+        SCOPED_TRACE(testing::Message()
+                     << "run " << i << " seed 0x" << std::hex << seed);
+        serve::NativeServeOptions options = baseOptions();
+        options.seed = seed;
+        options.variant = allVariants()[i % allVariants().size()];
+        options.spec.requests = requests;
+        options.spec.tenants = 2 + static_cast<uint32_t>(i % 2);
+        options.spec.queue_cap = 6;
+        options.spec.deadline_s = 10.0 * service_s;
+        // Offered load: 2x the measured closed-loop capacity, split
+        // across the tenants; alternate runs make it bursty.
+        options.spec.arrival.kind = (i % 2) ? serve::ArrivalKind::mmpp
+                                            : serve::ArrivalKind::poisson;
+        options.spec.arrival.rate_hz =
+            2.0 / service_s / options.spec.tenants;
+        options.spec.arrival.mean_burst_s = 20.0 * service_s;
+        options.spec.arrival.mean_idle_s = 80.0 * service_s;
+
+        stress::ScheduleShaker shaker(seed, options.threads);
+        options.hooks = &shaker;
+        serve::NativeServeResult result =
+            serve::runNativeService(options);
+        expectConserved(result, options.spec);
+        total_shed += result.stats.shed;
+    }
+    EXPECT_GT(total_shed, 0u)
+        << "sustained 2x overload with a 6-deep queue must shed";
+}
+
+TEST(StressServe, RepeatedFloodAndShutdownLeaksNothing)
+{
+    // Shutdown is where injected-queue runtimes deadlock or drop work:
+    // the ingest thread races pool teardown, the master's help loop
+    // races the last injected task, and the energy hooks outlive stop().
+    // Build and tear the whole stack down repeatedly under a flood that
+    // keeps the admission queue pinned at a tiny bound.
+    const int64_t cycles =
+        stress::envKnob("AAWS_SERVE_STRESS_SHUTDOWNS", 6, 3);
+    const uint64_t requests = static_cast<uint64_t>(
+        stress::envKnob("AAWS_SERVE_STRESS_FLOOD_REQUESTS", 200, 80));
+    for (int64_t i = 0; i < cycles; ++i) {
+        uint64_t seed = stress::nthSeed(stress::baseSeed(), 0xF10D + i);
+        SCOPED_TRACE(testing::Message()
+                     << "cycle " << i << " seed 0x" << std::hex << seed);
+        serve::NativeServeOptions options = baseOptions();
+        options.seed = seed;
+        options.variant = (i % 2) ? Variant::base_psm : Variant::base;
+        options.work_per_request = 20000;
+        options.spec.requests = requests;
+        options.spec.tenants = 2;
+        options.spec.queue_cap = 2;
+        options.spec.arrival.rate_hz = 1e6; // effectively instantaneous
+        stress::ScheduleShaker shaker(seed, options.threads);
+        options.hooks = &shaker;
+        serve::NativeServeResult result =
+            serve::runNativeService(options);
+        expectConserved(result, options.spec);
+        EXPECT_GT(result.stats.shed, 0u)
+            << "a 2-deep queue cannot absorb an instantaneous flood";
+    }
+}
+
+} // namespace
+} // namespace aaws

@@ -564,5 +564,176 @@ TEST(Engine, BenchJsonRecordIsWritten)
     EXPECT_GT(events, 0u);
 }
 
+// --- Open-loop serving dimension ------------------------------------
+
+exp::RunSpec
+serveSpecSample()
+{
+    exp::RunSpec spec("dict", SystemShape::s4B4L, Variant::base_ps);
+    serve::ServeSpec serve_spec;
+    serve_spec.arrival.kind = serve::ArrivalKind::mmpp;
+    serve_spec.arrival.rate_hz = 40.0;
+    serve_spec.requests = 2000;
+    serve_spec.tenants = 3;
+    serve_spec.queue_cap = 16;
+    serve_spec.deadline_s = 0.5;
+    serve_spec.service_samples = 2;
+    spec.serve = serve_spec;
+    return spec;
+}
+
+TEST(RunSpec, CacheSchemaCoversServeDimension)
+{
+    // v3 is the schema that made the serving fields spec-addressable;
+    // a tree that adds serve fields without bumping this would alias
+    // v2 cache entries (see the alias-miss test below).
+    EXPECT_EQ(exp::kCacheSchemaVersion, 3u);
+    std::string closed = exp::canonicalSpec(sampleSpec());
+    EXPECT_NE(closed.find("aaws-exp/v3"), std::string::npos);
+    // Closed-loop specs stay serve-free so their hashes are stable.
+    EXPECT_EQ(closed.find("serve."), std::string::npos);
+
+    std::string canonical = exp::canonicalSpec(serveSpecSample());
+    EXPECT_NE(canonical.find("serve.kind=mmpp"), std::string::npos);
+    EXPECT_NE(canonical.find("serve.rate_hz="), std::string::npos);
+    EXPECT_NE(canonical.find("serve.burst_factor="), std::string::npos);
+    EXPECT_NE(canonical.find("serve.requests=2000"), std::string::npos);
+    EXPECT_NE(canonical.find("serve.tenants=3"), std::string::npos);
+    EXPECT_NE(canonical.find("serve.queue_cap=16"), std::string::npos);
+    EXPECT_NE(canonical.find("serve.deadline_s="), std::string::npos);
+    EXPECT_NE(canonical.find("serve.service_samples=2"),
+              std::string::npos);
+
+    // Poisson streams have no dwell parameters; they stay out of the
+    // canonical form so unused MMPP knobs can never split the cache.
+    exp::RunSpec poisson = serveSpecSample();
+    poisson.serve->arrival.kind = serve::ArrivalKind::poisson;
+    EXPECT_EQ(exp::canonicalSpec(poisson).find("burst"),
+              std::string::npos);
+}
+
+TEST(RunSpec, ServeFieldsSeparateHashes)
+{
+    exp::RunSpec spec = serveSpecSample();
+    EXPECT_EQ(exp::specHash(spec), exp::specHash(serveSpecSample()));
+
+    exp::RunSpec closed = serveSpecSample();
+    closed.serve.reset();
+    EXPECT_NE(exp::specHash(spec), exp::specHash(closed));
+
+    auto mutated = [&](auto mutate) {
+        exp::RunSpec other = serveSpecSample();
+        mutate(*other.serve);
+        return exp::specHash(other);
+    };
+    uint64_t hash = exp::specHash(spec);
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.arrival.kind = serve::ArrivalKind::poisson;
+              }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.arrival.rate_hz *= 2.0;
+              }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.arrival.burst_factor += 1.0;
+              }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.arrival.mean_burst_s *= 2.0;
+              }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.arrival.mean_idle_s *= 2.0;
+              }));
+    EXPECT_NE(hash,
+              mutated([](serve::ServeSpec &s) { s.requests += 1; }));
+    EXPECT_NE(hash,
+              mutated([](serve::ServeSpec &s) { s.tenants += 1; }));
+    EXPECT_NE(hash,
+              mutated([](serve::ServeSpec &s) { s.queue_cap += 1; }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.deadline_s += 0.25;
+              }));
+    EXPECT_NE(hash, mutated([](serve::ServeSpec &s) {
+                  s.service_samples += 1;
+              }));
+}
+
+TEST(ResultCache, ServeResultRoundTripsThroughCache)
+{
+    fs::path dir = scratchDir("cache_serve");
+    exp::ResultCache cache(true, dir.string());
+    exp::RunSpec spec = serveSpecSample();
+
+    RunResult computed = exp::executeSpec(spec);
+    ASSERT_TRUE(computed.sim.serve.enabled);
+    EXPECT_EQ(computed.sim.serve.submitted, spec.serve->requests);
+    ASSERT_TRUE(cache.store(spec, computed));
+
+    RunResult hit;
+    ASSERT_TRUE(cache.lookup(spec, hit));
+    stress::expectIdenticalResults(computed.sim, hit.sim);
+
+    // The closed-loop twin of the same (kernel, variant, seed) must
+    // not alias the serving entry in either direction.
+    exp::RunSpec closed = serveSpecSample();
+    closed.serve.reset();
+    RunResult miss;
+    EXPECT_FALSE(cache.lookup(closed, miss));
+}
+
+TEST(ResultCache, PreServeSchemaRecordReadsAsMiss)
+{
+    // Regression guard for the cache-key bug the schema bump fixes: a
+    // record written by a v2 tree (no serving fields in the canonical
+    // form) must never satisfy a serving lookup, even if it lands in
+    // the right file (hash collision / copied cache dir).
+    fs::path dir = scratchDir("cache_pre_serve");
+    exp::ResultCache cache(true, dir.string());
+    exp::RunSpec spec = serveSpecSample();
+    RunResult computed = exp::executeSpec(spec);
+    ASSERT_TRUE(cache.store(spec, computed));
+
+    exp::RunSpec closed = serveSpecSample();
+    closed.serve.reset();
+    std::string v2_canonical = exp::canonicalSpec(closed);
+    size_t tag = v2_canonical.find("aaws-exp/v3");
+    ASSERT_NE(tag, std::string::npos);
+    v2_canonical.replace(tag, 11, "aaws-exp/v2");
+    {
+        std::ofstream out(cache.pathFor(spec),
+                          std::ios::binary | std::ios::trunc);
+        out << "{\"schema\":2,\"spec\":"
+            << json::encodeString(v2_canonical)
+            << ",\"result\":" << exp::runResultToJson(computed) << "}";
+    }
+    RunResult out_result;
+    EXPECT_FALSE(cache.lookup(spec, out_result));
+}
+
+TEST(Engine, ServeBatchIsJobsInvariant)
+{
+    // Slot-ordered results: a serving sweep must be byte-identical
+    // between --jobs=1 and --jobs=4, like every other batch.
+    std::vector<exp::RunSpec> specs;
+    for (Variant v : {Variant::base, Variant::base_psm}) {
+        exp::RunSpec spec = serveSpecSample();
+        spec.variant = v;
+        spec.serve->requests = 1500;
+        specs.push_back(spec);
+    }
+    exp::EngineOptions options;
+    options.use_cache = false;
+    options.progress = false;
+    options.jobs = 1;
+    std::vector<RunResult> serial = exp::runBatch(specs, options);
+    options.jobs = 4;
+    std::vector<RunResult> parallel = exp::runBatch(specs, options);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "slot " << i);
+        EXPECT_EQ(exp::runResultToJson(serial[i]),
+                  exp::runResultToJson(parallel[i]));
+        stress::expectIdenticalResults(serial[i].sim, parallel[i].sim);
+    }
+}
+
 } // namespace
 } // namespace aaws

@@ -1,9 +1,9 @@
 /**
  * @file
- * Table II reproduction: the native work-stealing runtime against
- * alternative schedulers on real host hardware, using real
- * implementations of five PBBS-style kernels (dict, radix, rdups, mis,
- * nbody).
+ * Table II reproduction, grown into a backend shootout: the native
+ * runtimes against alternative schedulers on real host hardware, using
+ * real implementations of five PBBS-style kernels (dict, radix, rdups,
+ * mis, nbody).
  *
  * Intel Cilk++ / Intel TBB are not available offline; the comparison
  * points are a centralized-queue work-*sharing* pool and a
@@ -11,6 +11,16 @@
  * check is that the baseline work-stealing runtime is competitive with
  * (within a few percent of) production alternatives; absolute speedups
  * depend on how many hardware threads this host has.
+ *
+ * On top of the Table II columns, the shootout compares the two native
+ * backends behind the same RuntimeBackend seam: the Chase-Lev deque
+ * pool (runtime/worker_pool.h) versus the channel-based steal-request
+ * pool (chan/channel_pool.h) in its steal-one / steal-half / adaptive
+ * configurations.  `--backend=deque|chan` (or AAWS_BACKEND) restricts
+ * the sweep to one side.  A fine-grained fib microkernel always runs
+ * (independent of --filter) and emits the structural steal-protocol
+ * metrics the reproduction gate checks: steal-one moves exactly one
+ * task per successful steal, steal-half moves at least as many.
  */
 
 #include <algorithm>
@@ -22,10 +32,13 @@
 #include <thread>
 #include <vector>
 
+#include "chan/channel_pool.h"
 #include "common/rng.h"
 #include "exp/cli.h"
 #include "runtime/central_queue.h"
 #include "runtime/parallel_for.h"
+#include "runtime/parallel_invoke.h"
+#include "runtime/worker_pool.h"
 
 using namespace aaws;
 
@@ -350,53 +363,201 @@ struct MisKernel
 using PfFn = std::function<void(int64_t, int64_t,
                                 std::function<void(int64_t, int64_t)>)>;
 
+/** One contender in the shootout. */
+struct Sched
+{
+    const char *name; ///< Column header / metric prefix.
+    PfFn pf;
+};
+
+/** One kernel's times, parallel to the scheduler list (serial first). */
 struct Row
 {
     const char *name;
-    double serial;
-    double ws;
-    double central;
-    double async;
+    std::vector<double> times;
 };
+
+/** Fine-grained fork-join fib: the steal-protocol torture workload. */
+uint64_t
+fib(RuntimeBackend &pool, int n)
+{
+    if (n < 2)
+        return static_cast<uint64_t>(n);
+    if (n < 12) {
+        uint64_t a = 0;
+        uint64_t b = 1;
+        for (int i = 2; i <= n; ++i) {
+            uint64_t next = a + b;
+            a = b;
+            b = next;
+        }
+        return b;
+    }
+    uint64_t left = 0;
+    uint64_t right = 0;
+    parallelInvoke(pool, [&] { left = fib(pool, n - 1); },
+                   [&] { right = fib(pool, n - 2); });
+    return left + right;
+}
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/**
+ * The always-on steal-protocol microkernel: run fine-grained fib on
+ * each channel steal kind and emit the structural metrics the claim
+ * registry checks.  tasks-per-steal is defined as 1.0 when a run saw
+ * no steals at all (a one-hardware-thread host can execute everything
+ * on the spawning worker), so the invariants below hold on any host:
+ *
+ *   - steal-one grants carry exactly one task, so its tasks-per-steal
+ *     is identically 1.0;
+ *   - every grant carries at least one task, so steal-half's
+ *     tasks-per-steal — and the half/one ratio — is >= 1.0.
+ */
+void
+runFibProtocol(exp::BenchCli &cli, int threads)
+{
+    using chan::ChannelPool;
+    using chan::StealKind;
+    const int kFibN = 30;
+    const uint64_t kFibExpected = 832040;
+    const int kReps = 10; // keeps workers awake past the first run
+    std::printf("\n--- steal-protocol microkernel: fib(%d) x%d, "
+                "grain fib(12) ---\n", kFibN, kReps);
+    std::printf("%-10s %10s %9s %9s %9s %11s\n", "kind", "time(ms)",
+                "requests", "steals", "tasks", "tasks/steal");
+    double tasks_per_steal[3] = {1.0, 1.0, 1.0};
+    bool all_ok = true;
+    const StealKind kinds[] = {StealKind::one, StealKind::half,
+                               StealKind::adaptive};
+    for (int k = 0; k < 3; ++k) {
+        ChannelPool pool(threads, PoolOptions{}, kinds[k]);
+        double elapsed = timeIt([&] {
+            for (int rep = 0; rep < kReps; ++rep)
+                all_ok = all_ok && fib(pool, kFibN) == kFibExpected;
+        }, 1);
+        uint64_t steals = pool.steals();
+        uint64_t tasks = pool.tasksReceived();
+        if (steals > 0)
+            tasks_per_steal[k] = static_cast<double>(tasks) /
+                                 static_cast<double>(steals);
+        std::printf("%-10s %10.2f %9llu %9llu %9llu %11.2f\n",
+                    chan::stealKindName(kinds[k]), elapsed * 1e3,
+                    static_cast<unsigned long long>(pool.requestsSent()),
+                    static_cast<unsigned long long>(steals),
+                    static_cast<unsigned long long>(tasks),
+                    tasks_per_steal[k]);
+        auto add = [&](const char *metric, double value) {
+            std::string name = std::string(chan::stealKindName(kinds[k]))
+                               + "_" + metric;
+            cli.results.add("fib", name, value);
+        };
+        add("requests", static_cast<double>(pool.requestsSent()));
+        add("steals", static_cast<double>(steals));
+        add("tasks_received", static_cast<double>(tasks));
+        add("tasks_per_steal", tasks_per_steal[k]);
+    }
+    cli.results.add("fib", "result_ok", all_ok ? 1.0 : 0.0);
+    cli.results.add("fib", "tasks_per_steal_one", tasks_per_steal[0]);
+    cli.results.add("fib", "tasks_per_steal_ratio",
+                    tasks_per_steal[1] / tasks_per_steal[0]);
+    std::printf("result_ok=%d  tasks/steal ratio (half vs one) = %.2f\n",
+                all_ok ? 1 : 0,
+                tasks_per_steal[1] / tasks_per_steal[0]);
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    using chan::ChannelPool;
+    using chan::StealKind;
+
     aaws::exp::BenchCli cli;
     cli.parse(argc, argv);
     int threads = std::max(2u, std::thread::hardware_concurrency());
-    std::printf("=== Table II: baseline runtime vs alternative "
+    bool with_deque = cli.backendEnabled(BackendKind::deque);
+    bool with_chan = cli.backendEnabled(BackendKind::chan);
+    std::printf("=== Table II shootout: native backends vs alternative "
                 "schedulers (host: %d threads) ===\n\n", threads);
 
+    // Each backend family registers the constructing thread as its
+    // master (worker 0) in its own TLS slot, last constructor wins
+    // within a family.  Keep chan_adapt last: the ws-vs-chan ratio the
+    // claim registry checks then compares two pools that both treat
+    // this thread as a participating master, while chan_one/chan_half
+    // exercise the foreign-spawn injection path.
     WorkerPool ws_pool(threads);
     CentralQueuePool cq_pool(threads);
+    ChannelPool chan_one(threads, PoolOptions{}, StealKind::one);
+    ChannelPool chan_half(threads, PoolOptions{}, StealKind::half);
+    ChannelPool chan_adapt(threads, PoolOptions{}, StealKind::adaptive);
 
-    PfFn serial_pf = [](int64_t lo, int64_t hi,
-                        std::function<void(int64_t, int64_t)> body) {
-        body(lo, hi);
+    auto pool_pf = [](RuntimeBackend &pool) {
+        return [&pool](int64_t lo, int64_t hi,
+                       std::function<void(int64_t, int64_t)> body) {
+            parallelFor(pool, lo, hi,
+                        std::max<int64_t>(1, (hi - lo) / 64), body);
+        };
     };
-    PfFn ws_pf = [&](int64_t lo, int64_t hi,
-                     std::function<void(int64_t, int64_t)> body) {
-        parallelFor(ws_pool, lo, hi, std::max<int64_t>(1, (hi - lo) / 64),
-                    body);
-    };
-    PfFn cq_pf = [&](int64_t lo, int64_t hi,
-                     std::function<void(int64_t, int64_t)> body) {
-        cq_pool.parallelFor(lo, hi, std::max<int64_t>(1, (hi - lo) / 64),
-                            body);
-    };
-    PfFn async_pf = [&](int64_t lo, int64_t hi,
-                        std::function<void(int64_t, int64_t)> body) {
-        asyncChunkedFor(lo, hi, threads, body);
-    };
+
+    // Scheduler order matters below: index 0 is the serial reference,
+    // and the ws / chan_adaptive columns feed the chan-vs-deque
+    // aggregate the claim registry checks.
+    std::vector<Sched> scheds;
+    scheds.push_back(
+        {"serial", [](int64_t lo, int64_t hi,
+                      std::function<void(int64_t, int64_t)> body) {
+             body(lo, hi);
+         }});
+    int ws_col = -1;
+    int chan_col = -1;
+    if (with_deque) {
+        ws_col = static_cast<int>(scheds.size());
+        scheds.push_back({"ws", pool_pf(ws_pool)});
+        scheds.push_back(
+            {"cq", [&](int64_t lo, int64_t hi,
+                       std::function<void(int64_t, int64_t)> body) {
+                 cq_pool.parallelFor(
+                     lo, hi, std::max<int64_t>(1, (hi - lo) / 64),
+                     body);
+             }});
+        scheds.push_back(
+            {"async", [&](int64_t lo, int64_t hi,
+                          std::function<void(int64_t, int64_t)> body) {
+                 asyncChunkedFor(lo, hi, threads, body);
+             }});
+    }
+    if (with_chan) {
+        scheds.push_back({"chan_one", pool_pf(chan_one)});
+        scheds.push_back({"chan_half", pool_pf(chan_half)});
+        chan_col = static_cast<int>(scheds.size());
+        scheds.push_back({"chan_adaptive", pool_pf(chan_adapt)});
+    }
 
     std::vector<Row> rows;
+    auto run = [&](const char *name,
+                   const std::function<double(const PfFn &)> &bench) {
+        if (!cli.matches(name))
+            return;
+        Row row{name, {}};
+        row.times.reserve(scheds.size());
+        for (const Sched &sched : scheds)
+            row.times.push_back(bench(sched.pf));
+        rows.push_back(std::move(row));
+    };
 
     {
         DictKernel dict;
-        auto bench = [&](const PfFn &pf) {
+        run("dict", [&](const PfFn &pf) {
             return timeIt([&] {
                 dict.reset();
                 pf(0, DictKernel::kN, [&](int64_t lo, int64_t hi) {
@@ -407,23 +568,19 @@ main(int argc, char **argv)
                     hits.fetch_add(dict.findRange(lo, hi));
                 });
             });
-        };
-        rows.push_back({"dict", bench(serial_pf), bench(ws_pf),
-                        bench(cq_pf), bench(async_pf)});
+        });
     }
     {
         RadixKernel radix;
-        auto bench = [&](const PfFn &pf) {
+        run("radix", [&](const PfFn &pf) {
             return timeIt([&] {
                 RadixKernel::sortWith(radix.input, pf, 4 * threads);
             });
-        };
-        rows.push_back({"radix", bench(serial_pf), bench(ws_pf),
-                        bench(cq_pf), bench(async_pf)});
+        });
     }
     {
         RdupsKernel rdups;
-        auto bench = [&](const PfFn &pf) {
+        run("rdups", [&](const PfFn &pf) {
             return timeIt([&] {
                 rdups.reset();
                 std::atomic<int64_t> uniques{0};
@@ -431,56 +588,75 @@ main(int argc, char **argv)
                     uniques.fetch_add(rdups.claimRange(lo, hi));
                 });
             });
-        };
-        rows.push_back({"rdups", bench(serial_pf), bench(ws_pf),
-                        bench(cq_pf), bench(async_pf)});
+        });
     }
     {
         MisKernel mis;
-        auto bench = [&](const PfFn &pf) {
+        run("mis", [&](const PfFn &pf) {
             return timeIt([&] { (void)mis.run(pf); });
-        };
-        rows.push_back({"mis", bench(serial_pf), bench(ws_pf),
-                        bench(cq_pf), bench(async_pf)});
+        });
     }
     {
         NbodyKernel nbody;
-        auto bench = [&](const PfFn &pf) {
+        run("nbody", [&](const PfFn &pf) {
             return timeIt([&] {
                 pf(0, NbodyKernel::kN, [&](int64_t lo, int64_t hi) {
                     nbody.forcesRange(lo, hi);
                 });
             });
-        };
-        rows.push_back({"nbody", bench(serial_pf), bench(ws_pf),
-                        bench(cq_pf), bench(async_pf)});
+        });
     }
 
-    std::printf("%-8s %12s %14s %14s %14s %12s\n", "kernel",
-                "serial(ms)", "work-steal", "central-q", "async",
-                "ws vs cq");
+    std::printf("%-8s %12s", "kernel", "serial(ms)");
+    for (size_t s = 1; s < scheds.size(); ++s)
+        std::printf(" %13s", scheds[s].name);
+    std::printf("\n");
     cli.results.add("host", "threads", static_cast<double>(threads));
+    std::vector<double> chan_vs_ws;
     for (const auto &row : rows) {
-        std::printf("%-8s %12.2f %11.2fx %13.2fx %13.2fx %+11.0f%%\n",
-                    row.name, row.serial * 1e3, row.serial / row.ws,
-                    row.serial / row.central, row.serial / row.async,
-                    100.0 * (row.central / row.ws - 1.0));
-        auto addHost = [&](const char *metric, double value) {
+        double serial = row.times[0];
+        std::printf("%-8s %12.2f", row.name, serial * 1e3);
+        auto addHost = [&](const std::string &metric, double value) {
             cli.results.add({.series = "host",
                              .kernel = row.name,
                              .metric = metric,
                              .value = value});
         };
-        addHost("ws_speedup", row.serial / row.ws);
-        addHost("cq_speedup", row.serial / row.central);
-        addHost("async_speedup", row.serial / row.async);
-        addHost("ws_vs_cq_pct", 100.0 * (row.central / row.ws - 1.0));
+        for (size_t s = 1; s < scheds.size(); ++s) {
+            std::printf(" %12.2fx", serial / row.times[s]);
+            addHost(std::string(scheds[s].name) + "_speedup",
+                    serial / row.times[s]);
+        }
+        std::printf("\n");
+        if (ws_col >= 0 && chan_col >= 0) {
+            double ratio = row.times[static_cast<size_t>(chan_col)] /
+                           row.times[static_cast<size_t>(ws_col)];
+            chan_vs_ws.push_back(ratio);
+            addHost("chan_vs_ws_pct", 100.0 * (ratio - 1.0));
+        }
+        if (ws_col >= 0)
+            addHost("ws_vs_cq_pct",
+                    100.0 * (row.times[static_cast<size_t>(ws_col) + 1] /
+                                 row.times[static_cast<size_t>(ws_col)] -
+                             1.0));
     }
-    std::printf("\ncolumns 3-5 are speedups over the serial version; "
-                "the last column is the work-stealing runtime's\n"
-                "advantage over the central-queue scheduler (paper's "
-                "analogous margin vs TBB: -3%% .. +14%%).\n"
-                "Note: on a single-hardware-thread host all parallel "
-                "speedups degenerate toward <= 1x.\n");
+    if (!chan_vs_ws.empty()) {
+        double med = median(chan_vs_ws);
+        cli.results.add("summary", "median_chan_vs_ws", med);
+        std::printf("\nmedian chan(adaptive) vs ws(deque) time ratio: "
+                    "%.2f (1.0 = parity; lower is better for the "
+                    "channel backend)\n", med);
+    }
+    std::printf("\ncolumns are speedups over the serial version.  ws = "
+                "Chase-Lev deques, cq = centralized work-sharing\n"
+                "queue, async = std::async per chunk, chan_* = the "
+                "steal-request channel backend per steal kind\n"
+                "(paper's analogous margin vs TBB: -3%% .. +14%%).  On "
+                "a single-hardware-thread host all parallel\n"
+                "speedups degenerate toward <= 1x; the backend *ratio* "
+                "remains meaningful.\n");
+
+    if (with_chan)
+        runFibProtocol(cli, threads);
     return 0;
 }

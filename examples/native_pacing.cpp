@@ -1,27 +1,33 @@
 /**
  * @file
- * Native AAWS policies: one pool class, every runtime variant.
+ * Native AAWS policies: one policy layer, every runtime variant, both
+ * backends.
  *
  * The scheduler-policy layer in src/sched/ is engine-agnostic, so the
  * same assemblies the simulator evaluates (base, base+p, ..., base+psm)
- * also drive the native work-stealing pool.  This example runs one
- * workload under every variant, switching the policy stack at runtime,
- * with a software pacing governor attached: the governor listens to the
+ * also drive both native pools — the Chase-Lev deque WorkerPool and the
+ * channel-based (steal-request) ChannelPool — through the shared
+ * RuntimeBackend seam.  This example runs one workload under every
+ * variant on each backend, switching the policy stack at runtime, with
+ * a software pacing governor attached: the governor listens to the
  * pool's activity hints, maintains the big/little census, and logs the
  * voltage each worker *would* be set to by the paper's lookup-table
  * DVFS controller.  Build and run:
  *
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/native_pacing
+ *   ./build/examples/native_pacing            # both backends
+ *   ./build/examples/native_pacing chan       # just one
  */
 
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdint>
+#include <memory>
 
 #include "aaws/governor.h"
 #include "aaws/variant.h"
+#include "chan/backend_factory.h"
 #include "dvfs/lookup_table.h"
 #include "model/first_order.h"
 #include "runtime/parallel_for.h"
@@ -32,7 +38,7 @@ namespace {
 
 /** A mildly irregular workload so workers actually steal. */
 double
-crunch(WorkerPool &pool, int64_t n)
+crunch(RuntimeBackend &pool, int64_t n)
 {
     std::atomic<double> sum{0.0};
     parallelFor(pool, 0, n, 512, [&](int64_t lo, int64_t hi) {
@@ -52,41 +58,29 @@ crunch(WorkerPool &pool, int64_t n)
     return sum.load();
 }
 
-} // namespace
-
-int
-main()
+void
+runBackend(BackendKind kind, const DvfsLookupTable &table,
+           const ModelParams &mp, int workers, int n_big, int64_t n)
 {
-    // A 1 big + 3 little native machine: worker 0 plays the big core.
-    const int kWorkers = 4;
-    const int kBig = 1;
-    const int64_t kN = 1 << 19;
-
-    // The marginal-utility table the governor maps census cells
-    // through — the same table generation the simulator uses.
-    ModelParams mp;
-    DvfsLookupTable table(FirstOrderModel(mp), kBig, kWorkers - kBig);
-
-    std::printf("native pool: %d workers (%dB%dL)\n\n", kWorkers, kBig,
-                kWorkers - kBig);
+    std::printf("--- backend: %s ---\n", backendName(kind));
     std::printf("%-9s %8s %8s %6s %6s %7s %7s %8s\n", "variant",
                 "steals", "mugTry", "mugs", "rounds", "rests",
                 "sprints", "checksum");
-
     for (Variant v : allVariants()) {
-        PacingGovernor governor(kWorkers, kBig, policyConfigFor(v),
+        PacingGovernor governor(workers, n_big, policyConfigFor(v),
                                 table, mp);
         PoolOptions options;
         options.policy = policyConfigFor(v);
-        options.n_big = kBig;
+        options.n_big = n_big;
         options.hooks = &governor;
-        WorkerPool pool(kWorkers, options);
-        double checksum = crunch(pool, kN);
+        std::unique_ptr<RuntimeBackend> pool =
+            chan::makeBackend(kind, workers, options);
+        double checksum = crunch(*pool, n);
         std::printf("%-9s %8llu %8llu %6llu %6llu %7llu %7llu %8.2f\n",
                     variantName(v),
-                    static_cast<unsigned long long>(pool.steals()),
-                    static_cast<unsigned long long>(pool.mugAttempts()),
-                    static_cast<unsigned long long>(pool.mugs()),
+                    static_cast<unsigned long long>(pool->steals()),
+                    static_cast<unsigned long long>(pool->mugAttempts()),
+                    static_cast<unsigned long long>(pool->mugs()),
                     static_cast<unsigned long long>(
                         governor.decisionRounds()),
                     static_cast<unsigned long long>(
@@ -95,10 +89,49 @@ main()
                         governor.sprintIntents()),
                     checksum);
     }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // A 1 big + 3 little native machine: worker 0 plays the big core.
+    const int kWorkers = 4;
+    const int kBig = 1;
+    const int64_t kN = 1 << 19;
+
+    bool run_deque = true;
+    bool run_chan = true;
+    if (argc > 1) {
+        BackendKind kind;
+        if (!parseBackendKind(argv[1], kind)) {
+            std::fprintf(stderr,
+                         "usage: %s [deque|chan]  (no argument runs "
+                         "both backends)\n",
+                         argv[0]);
+            return 1;
+        }
+        run_deque = kind == BackendKind::deque;
+        run_chan = kind == BackendKind::chan;
+    }
+
+    // The marginal-utility table the governor maps census cells
+    // through — the same table generation the simulator uses.
+    ModelParams mp;
+    DvfsLookupTable table(FirstOrderModel(mp), kBig, kWorkers - kBig);
+
+    std::printf("native pools: %d workers (%dB%dL)\n\n", kWorkers, kBig,
+                kWorkers - kBig);
+    if (run_deque)
+        runBackend(BackendKind::deque, table, mp, kWorkers, kBig, kN);
+    if (run_chan)
+        runBackend(BackendKind::chan, table, mp, kWorkers, kBig, kN);
 
     // Show one governor decision log in detail: what each worker would
     // be running at under full-AAWS with the whole machine busy.
-    std::printf("\nbase+psm boot decision (all workers active):\n");
+    std::printf("base+psm boot decision (all workers active):\n");
     PacingGovernor governor(kWorkers, kBig,
                             policyConfigFor(Variant::base_psm), table,
                             mp);

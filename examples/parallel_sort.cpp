@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "runtime/parallel_invoke.h"
+#include "runtime/worker_pool.h"
 
 using namespace aaws;
 

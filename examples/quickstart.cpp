@@ -17,6 +17,7 @@
 
 #include "runtime/parallel_for.h"
 #include "runtime/parallel_invoke.h"
+#include "runtime/worker_pool.h"
 
 using namespace aaws;
 

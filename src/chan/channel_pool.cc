@@ -1,0 +1,468 @@
+#include "chan/channel_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aaws::chan {
+
+namespace {
+
+/** Worker identity of the calling thread, keyed by pool. */
+thread_local const ChannelPool *tls_pool = nullptr;
+thread_local int tls_worker = -1;
+
+} // namespace
+
+const char *
+stealKindName(StealKind kind)
+{
+    switch (kind) {
+    case StealKind::one:
+        return "one";
+    case StealKind::half:
+        return "half";
+    case StealKind::adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+ChannelPool::ChannelPool(int threads, const PoolOptions &options,
+                         StealKind steal)
+    : hooks_(options.hooks), policy_config_(options.policy),
+      policy_(sched::makePolicyStack(options.policy)),
+      steal_kind_(steal), n_big_(std::clamp(options.n_big, 0, threads))
+{
+    AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
+    workers_.reserve(threads);
+    victims_.reserve(threads);
+    for (int i = 0; i < threads; ++i) {
+        workers_.push_back(std::make_unique<WorkerState>(threads));
+        victims_.push_back(sched::makeVictimSelector(
+            options.policy.victim,
+            options.policy.victim_seed + static_cast<uint64_t>(i)));
+    }
+    big_active_.store(n_big_, std::memory_order_relaxed);
+    // The constructing thread is the master (worker 0).
+    tls_pool = this;
+    tls_worker = 0;
+    threads_.reserve(threads - 1);
+    for (int i = 1; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ChannelPool::~ChannelPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.notify_all();
+    }
+    for (auto &thread : threads_)
+        thread.join();
+    // Drain un-executed tasks: private queues, plus any TaskBatch still
+    // sitting in a task channel (granted but never received).
+    for (auto &w : workers_) {
+        for (RtTask *task : w->local)
+            delete task;
+        w->local.clear();
+        TaskBatch batch;
+        while (w->batches.tryRecv(batch) == ChanStatus::ok)
+            for (int i = 0; i < batch.count; ++i)
+                delete batch.tasks[i];
+    }
+    while (RtTask *task = tryTakeInjected())
+        delete task;
+    if (tls_pool == this) {
+        tls_pool = nullptr;
+        tls_worker = -1;
+    }
+}
+
+int
+ChannelPool::currentWorker() const
+{
+    return tls_pool == this ? tls_worker : -1;
+}
+
+void
+ChannelPool::spawnTask(RtTask *task)
+{
+    int self = currentWorker();
+    // Foreign threads (including another pool's master) have no local
+    // queue or task indicator; their spawns fall back to the
+    // cross-thread injection queue, which workers — and the spawner's
+    // own TaskGroup::wait loop — drain.
+    if (self < 0) {
+        enqueueTask(task);
+        return;
+    }
+    if (hooks_)
+        hooks_->onSpawn(self);
+    WorkerState &w = *workers_[self];
+    w.local.push_back(task);
+    w.indicator.fetch_add(1, std::memory_order_relaxed);
+    // Lifeline release: new work answers parked thieves directly (the
+    // work-sharing half of the protocol).
+    if (!w.held.empty())
+        releaseHeld(self);
+    wakeOne();
+}
+
+void
+ChannelPool::enqueueTask(RtTask *task)
+{
+    {
+        std::lock_guard<std::mutex> lock(inject_mutex_);
+        injected_.push_back(task);
+        injected_count_.fetch_add(1, std::memory_order_release);
+    }
+    wakeOne();
+}
+
+RtTask *
+ChannelPool::tryTakeInjected()
+{
+    if (injected_count_.load(std::memory_order_acquire) == 0)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (injected_.empty())
+        return nullptr;
+    RtTask *task = injected_.front();
+    injected_.pop_front();
+    injected_count_.fetch_sub(1, std::memory_order_release);
+    return task;
+}
+
+RtTask *
+ChannelPool::tryTakeTask()
+{
+    int self = currentWorker();
+    // Foreign threads have no channels to be granted over; they may
+    // only help with injected (root) work.
+    if (self < 0)
+        return tryTakeInjected();
+    WorkerState &w = *workers_[self];
+    // Answer pending steal requests before looking for own work: the
+    // mailbox is only ever drained here, so service latency is one
+    // task execution, and thieves must never wait on a busy victim
+    // that found work every time.
+    serveRequests(self);
+    // Lifeline release also covers work that arrived without a spawn
+    // (extras of a granted batch): parked thieves must never wait on a
+    // holder that has tasks in hand.
+    if (!w.held.empty() && !w.local.empty())
+        releaseHeld(self);
+    if (!w.local.empty()) {
+        RtTask *task = w.local.back();
+        w.local.pop_back();
+        w.indicator.fetch_sub(1, std::memory_order_relaxed);
+        noteFound(self);
+        return task;
+    }
+    // A reply to our outstanding request?  Received even when the
+    // biasing gate has since closed: the victim already gave the tasks
+    // up, so nobody else can run them.
+    TaskBatch batch;
+    if (w.batches.tryRecv(batch) == ChanStatus::ok) {
+        w.outstanding = false;
+        // Adaptive stealing switches on success history: a grant says
+        // queues are deep enough to take half next time, a decline
+        // says back off to single tasks.
+        w.steal_half_next = batch.count > 0;
+        if (batch.count > 0) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            tasks_received_.fetch_add(
+                static_cast<uint64_t>(batch.count),
+                std::memory_order_relaxed);
+            if (batch.mug) {
+                mugs_.fetch_add(1, std::memory_order_relaxed);
+                if (hooks_)
+                    hooks_->onMug(self, batch.victim);
+            }
+            if (hooks_)
+                hooks_->onStealSuccess(self, batch.victim);
+            for (int i = 1; i < batch.count; ++i)
+                w.local.push_back(batch.tasks[i]);
+            if (batch.count > 1)
+                w.indicator.fetch_add(batch.count - 1,
+                                      std::memory_order_relaxed);
+            noteFound(self);
+            return batch.tasks[0];
+        }
+    }
+    // Work-biasing: a gated-out little worker charges a failed attempt
+    // without posting any request, exactly as the deque backend does.
+    const sched::SchedView &view = *this;
+    if (!policy_.gate.allowSteal(view, self)) {
+        noteFailed(self);
+        return nullptr;
+    }
+    RtTask *task = tryTakeInjected();
+    if (task) {
+        noteFound(self);
+        return task;
+    }
+    // A starving holder cannot answer its lifelines with work — release
+    // the parked thieves (declines) so they can re-aim at live victims.
+    if (!w.held.empty())
+        releaseHeld(self);
+    if (!w.outstanding)
+        maybeSendRequest(self);
+    noteFailed(self);
+    return nullptr;
+}
+
+void
+ChannelPool::serveRequests(int self)
+{
+    WorkerState &w = *workers_[self];
+    StealRequest req;
+    while (w.requests.tryRecv(req) == ChanStatus::ok)
+        handleRequest(self, req);
+}
+
+void
+ChannelPool::handleRequest(int self, StealRequest req)
+{
+    WorkerState &w = *workers_[self];
+    // Our own request circled the whole ring back to us: spend it with
+    // a self-decline (we are its current holder, so we are the task
+    // channel's producer for this one send).
+    if (req.thief == self) {
+        decline(self, req);
+        return;
+    }
+    if (!w.local.empty()) {
+        grant(self, req);
+        return;
+    }
+    // A mug is a policy-targeted raid on one specific victim; it is
+    // never forwarded or parked — the starved big worker should re-aim
+    // through the mug policy rather than have the message wander.
+    if (req.mug) {
+        decline(self, req);
+        return;
+    }
+    // Unsatisfied requests travel the ring once; after that the last
+    // victim parks them on a lifeline instead of bouncing them forever.
+    if (static_cast<int>(req.tries) + 1 >= numWorkers()) {
+        w.held.push_back(req);
+        lifeline_holds_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    forward(self, req);
+}
+
+void
+ChannelPool::grant(int self, const StealRequest &req)
+{
+    WorkerState &w = *workers_[self];
+    int64_t size = static_cast<int64_t>(w.local.size());
+    int give = 1;
+    if (req.kind == StealKind::half)
+        give = static_cast<int>(std::min<int64_t>(
+            std::max<int64_t>(1, size / 2),
+            std::min<int64_t>(size, kMaxBatch)));
+    TaskBatch batch;
+    batch.victim = self;
+    batch.count = give;
+    batch.mug = req.mug;
+    // Hand off the *oldest* tasks (the FIFO end a deque thief would
+    // take): coolest in cache, biggest subtrees first.
+    for (int i = 0; i < give; ++i) {
+        batch.tasks[i] = w.local.front();
+        w.local.pop_front();
+    }
+    w.indicator.fetch_sub(give, std::memory_order_relaxed);
+    ChanStatus status = workers_[req.thief]->batches.trySend(batch);
+    AAWS_ASSERT(status == ChanStatus::ok,
+                "task channel full: thief had more than one outstanding "
+                "steal request");
+    (void)status;
+    wakeOne();
+}
+
+void
+ChannelPool::decline(int self, const StealRequest &req)
+{
+    TaskBatch batch;
+    batch.victim = self;
+    batch.count = 0;
+    batch.mug = req.mug;
+    ChanStatus status = workers_[req.thief]->batches.trySend(batch);
+    AAWS_ASSERT(status == ChanStatus::ok,
+                "task channel full: thief had more than one outstanding "
+                "steal request");
+    (void)status;
+    declines_.fetch_add(1, std::memory_order_relaxed);
+    wakeOne();
+}
+
+void
+ChannelPool::forward(int self, StealRequest req)
+{
+    int n = numWorkers();
+    req.tries = static_cast<uint8_t>(req.tries + 1);
+    int target = (self + 1) % n;
+    if (target == req.thief)
+        target = (target + 1) % n;
+    if (target == self) {
+        // Two-worker ring: nobody else to ask.
+        decline(self, req);
+        return;
+    }
+    ChanStatus status = workers_[target]->requests.trySend(req);
+    AAWS_ASSERT(status == ChanStatus::ok, "request mailbox overflow");
+    (void)status;
+    forwards_.fetch_add(1, std::memory_order_relaxed);
+    wakeOne();
+}
+
+void
+ChannelPool::releaseHeld(int self)
+{
+    WorkerState &w = *workers_[self];
+    while (!w.held.empty()) {
+        StealRequest req = w.held.back();
+        w.held.pop_back();
+        if (!w.local.empty()) {
+            lifeline_grants_.fetch_add(1, std::memory_order_relaxed);
+            grant(self, req);
+        } else {
+            decline(self, req);
+        }
+    }
+}
+
+void
+ChannelPool::maybeSendRequest(int self)
+{
+    WorkerState &w = *workers_[self];
+    const sched::SchedView &view = *this;
+    StealRequest req;
+    req.thief = self;
+    req.kind = resolveKind(self);
+    // Work-mugging as a message: when the mug trigger fires for this
+    // starved big worker, the request goes straight to the policy's
+    // muggee with the mug flag set, bypassing victim selection.
+    if (policy_.mug.wantsMug(coreType(self), w.failed)) {
+        int muggee = policy_.mug.pickMuggee(view);
+        if (muggee >= 0 && muggee != self) {
+            req.mug = true;
+            mug_attempts_.fetch_add(1, std::memory_order_relaxed);
+            if (hooks_)
+                hooks_->onStealAttempt(self, muggee);
+            ChanStatus status = workers_[muggee]->requests.trySend(req);
+            AAWS_ASSERT(status == ChanStatus::ok,
+                        "request mailbox overflow");
+            (void)status;
+            requests_sent_.fetch_add(1, std::memory_order_relaxed);
+            w.outstanding = true;
+            wakeOne();
+            return;
+        }
+    }
+    int victim = victims_[self]->pick(view, self);
+    if (victim < 0 || victim == self)
+        return;
+    if (hooks_)
+        hooks_->onStealAttempt(self, victim);
+    ChanStatus status = workers_[victim]->requests.trySend(req);
+    AAWS_ASSERT(status == ChanStatus::ok, "request mailbox overflow");
+    (void)status;
+    requests_sent_.fetch_add(1, std::memory_order_relaxed);
+    w.outstanding = true;
+    wakeOne();
+}
+
+StealKind
+ChannelPool::resolveKind(int self)
+{
+    switch (steal_kind_) {
+    case StealKind::one:
+        return StealKind::one;
+    case StealKind::half:
+        return StealKind::half;
+    case StealKind::adaptive:
+        return workers_[self]->steal_half_next ? StealKind::half
+                                               : StealKind::one;
+    }
+    return StealKind::one;
+}
+
+void
+ChannelPool::noteFound(int self)
+{
+    WorkerState &w = *workers_[self];
+    w.failed = 0;
+    if (w.waiting.load(std::memory_order_relaxed)) {
+        w.waiting.store(false, std::memory_order_relaxed);
+        if (coreType(self) == CoreType::big)
+            big_active_.fetch_add(1, std::memory_order_relaxed);
+        if (hooks_)
+            hooks_->onWorkerActive(self);
+    }
+}
+
+void
+ChannelPool::noteFailed(int self)
+{
+    WorkerState &w = *workers_[self];
+    // Same hint protocol as the deque backend: the activity bit toggles
+    // on the second consecutive failed attempt; the count keeps running
+    // (saturating) so the mug trigger can read the starvation streak.
+    w.failed = std::min(w.failed + 1, 1 << 20);
+    if (w.failed == 2 && !w.waiting.load(std::memory_order_relaxed)) {
+        w.waiting.store(true, std::memory_order_relaxed);
+        if (coreType(self) == CoreType::big)
+            big_active_.fetch_sub(1, std::memory_order_relaxed);
+        if (hooks_)
+            hooks_->onWorkerWaiting(self);
+    }
+}
+
+void
+ChannelPool::wakeOne()
+{
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.notify_one();
+    }
+}
+
+void
+ChannelPool::workerLoop(int index)
+{
+    tls_pool = this;
+    tls_worker = index;
+    int idle_spins = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+        RtTask *task = tryTakeTask();
+        if (task) {
+            idle_spins = 0;
+            task->invoke(task);
+            continue;
+        }
+        if (++idle_spins < 64) {
+            std::this_thread::yield();
+            continue;
+        }
+        // Park with a 1ms backstop: the timeout doubles as the liveness
+        // guarantee for request service — a sleeping victim re-checks
+        // its mailbox at least once a millisecond even if every wakeup
+        // notification went to another worker.
+        if (hooks_)
+            hooks_->onRest(index);
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleepers_.fetch_add(1, std::memory_order_acq_rel);
+        sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+        idle_spins = 0;
+    }
+    tls_pool = nullptr;
+    tls_worker = -1;
+}
+
+} // namespace aaws::chan

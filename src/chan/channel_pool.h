@@ -1,0 +1,275 @@
+/**
+ * @file
+ * ChannelPool: the message-passing work-stealing backend (ROADMAP item
+ * 1, modeled on aprell/tasking-2.0 — SNIPPETS.md §1–2).
+ *
+ * Where `runtime::WorkerPool` lets thieves raid victim Chase-Lev deques
+ * directly, here every worker owns a *private* task queue that only it
+ * touches, plus two channels:
+ *
+ *  - an MPSC steal-request mailbox other workers post StealRequest
+ *    messages into, and
+ *  - an SPSC task channel on which exactly one granted TaskBatch (or an
+ *    explicit decline) travels back per request.
+ *
+ * Each worker keeps at most one steal request in flight (MAXSTEAL = 1),
+ * which is what makes the task channel single-producer: the current
+ * holder of the request is the unique granter.  Victims are chosen by
+ * the same `sched::VictimSelector` the deque backend and the simulator
+ * use, probing per-worker cache-line-padded *task indicators* (the
+ * channel-world substitute for deque-size estimates).  A victim with
+ * nothing to give forwards the request ring-wise; after the request has
+ * visited every worker it is *held* on a lifeline — the next spawn at
+ * the holder answers the parked thief directly (work stealing degrades
+ * to work sharing), and a holder that is itself starving declines all
+ * held requests so thieves can re-aim.
+ *
+ * Policy-wise the pool is a drop-in peer of WorkerPool: it implements
+ * `RuntimeBackend` + `sched::SchedView`, consults the same PolicyStack
+ * (victim selection, the work-biasing steal gate, the mug trigger), and
+ * fires the same SchedulerHooks — so all five AAWS variants and the
+ * PacingGovernor run on it unchanged.  Work-mugging becomes a *literal
+ * message*: a starved big worker posts a mug-flagged request straight
+ * into the policy-picked muggee's mailbox (never forwarded, never
+ * held), much closer to the paper's user-level interrupts than the
+ * deque backend's queue raid.
+ */
+
+#ifndef AAWS_CHAN_CHANNEL_POOL_H
+#define AAWS_CHAN_CHANNEL_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chan/channel.h"
+#include "chan/steal_request.h"
+#include "runtime/backend.h"
+#include "runtime/hooks.h"
+#include "runtime/worker_pool.h"
+#include "sched/policy_stack.h"
+#include "sched/view.h"
+
+namespace aaws::chan {
+
+/**
+ * Fixed-size message-passing work-stealing pool.  The constructing
+ * thread is worker 0 (the master) and participates whenever it waits on
+ * a TaskGroup; `threads - 1` additional worker threads are spawned.
+ *
+ * Reuses `runtime`'s PoolOptions (policy assembly, core-type split,
+ * hooks); `steal` additionally selects the request granularity
+ * (steal-one / steal-half / adaptive), which is a backend mechanism,
+ * not an AAWS policy switch.
+ */
+class ChannelPool : public RuntimeBackend, private sched::SchedView
+{
+  public:
+    explicit ChannelPool(int threads,
+                         const PoolOptions &options = PoolOptions{},
+                         StealKind steal = StealKind::adaptive);
+
+    ~ChannelPool() override;
+
+    ChannelPool(const ChannelPool &) = delete;
+    ChannelPool &operator=(const ChannelPool &) = delete;
+
+    /** Single final overrider for both RuntimeBackend and SchedView. */
+    int numWorkers() const override
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    int currentWorker() const override;
+
+    void spawnTask(RtTask *task) override;
+
+    void enqueueTask(RtTask *task) override;
+
+    RtTask *tryTakeTask() override;
+
+    /** Successful steals = non-empty TaskBatch receipts (incl. mugs). */
+    uint64_t steals() const override
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t mugAttempts() const override
+    {
+        return mug_attempts_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t mugs() const override
+    {
+        return mugs_.load(std::memory_order_relaxed);
+    }
+
+    const sched::PolicyConfig &policyConfig() const override
+    {
+        return policy_config_;
+    }
+
+    /** The configured request granularity. */
+    StealKind stealKind() const { return steal_kind_; }
+
+    // Protocol statistics (for the shootout and tests) -------------------
+
+    /** Steal requests posted (normal + mug; excludes forwarding hops). */
+    uint64_t requestsSent() const
+    {
+        return requests_sent_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks that arrived through task channels (>= steals()). */
+    uint64_t tasksReceived() const
+    {
+        return tasks_received_.load(std::memory_order_relaxed);
+    }
+
+    /** Explicit empty-batch declines sent by victims. */
+    uint64_t declines() const
+    {
+        return declines_.load(std::memory_order_relaxed);
+    }
+
+    /** Ring-wise forwarding hops of unsatisfied requests. */
+    uint64_t forwards() const
+    {
+        return forwards_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests parked on a lifeline (held until new work or decline). */
+    uint64_t lifelineHolds() const
+    {
+        return lifeline_holds_.load(std::memory_order_relaxed);
+    }
+
+    /** Held requests answered with tasks by a later spawn. */
+    uint64_t lifelineGrants() const
+    {
+        return lifeline_grants_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Per-worker scheduling state, one cache-line-aligned block per
+     * worker.  `local`, `outstanding`, `steal_half_next`, and `held`
+     * are owner-thread-only; `indicator` is the concurrently probed
+     * task count; the channels carry the steal protocol.
+     */
+    struct alignas(kCacheLine) WorkerState
+    {
+        /** Private LIFO task queue: owner pops back, grants pop front. */
+        std::deque<RtTask *> local;
+        /** Task indicator: concurrent victim checks read this. */
+        std::atomic<int64_t> indicator{0};
+        /** Steal-request mailbox (any worker posts, owner drains). */
+        MpscChannel<StealRequest> requests;
+        /** Task hand-off channel (current request holder -> owner). */
+        SpscChannel<TaskBatch> batches;
+        /** Owner has a steal request in flight (MAXSTEAL = 1). */
+        bool outstanding = false;
+        /** Adaptive stealing: grab half next time (success history). */
+        bool steal_half_next = false;
+        /** Lifeline parking lot: requests held until work appears. */
+        std::vector<StealRequest> held;
+        /** Consecutive failed take attempts (owner-thread only). */
+        int failed = 0;
+        /** Activity hint bit read by the concurrent census. */
+        std::atomic<bool> waiting{false};
+
+        explicit WorkerState(int threads)
+            : requests(static_cast<std::size_t>(2 * threads)), batches(2)
+        {
+        }
+    };
+
+    void workerLoop(int index);
+    void wakeOne();
+    void noteFound(int self);
+    void noteFailed(int self);
+    RtTask *tryTakeInjected();
+
+    /** Drain the mailbox, answering/forwarding/holding each request. */
+    void serveRequests(int self);
+    void handleRequest(int self, StealRequest req);
+    /** Pop tasks for `req` off the front of `self`'s queue and send. */
+    void grant(int self, const StealRequest &req);
+    /** Send an explicit empty batch so the thief's request is spent. */
+    void decline(int self, const StealRequest &req);
+    /** Pass the request to the next worker on the ring. */
+    void forward(int self, StealRequest req);
+    /** Answer every held request (grant if possible, else decline). */
+    void releaseHeld(int self);
+    /** Post a new steal request if none is in flight (mug or normal). */
+    void maybeSendRequest(int self);
+    /** Resolve the configured kind to the on-wire one/half. */
+    StealKind resolveKind(int self);
+
+    // --- sched::SchedView (concurrent snapshots) ------------------------
+
+    int64_t dequeSize(int worker) const override
+    {
+        return workers_[worker]->indicator.load(std::memory_order_relaxed);
+    }
+
+    CoreType coreType(int core) const override
+    {
+        return core < n_big_ ? CoreType::big : CoreType::little;
+    }
+
+    sched::CoreActivity activity(int core) const override
+    {
+        return workers_[core]->waiting.load(std::memory_order_relaxed)
+                   ? sched::CoreActivity::stealing
+                   : sched::CoreActivity::running;
+    }
+
+    int numBig() const override { return n_big_; }
+
+    int bigActive() const override
+    {
+        return big_active_.load(std::memory_order_relaxed);
+    }
+
+    std::vector<std::unique_ptr<WorkerState>> workers_;
+    SchedulerHooks *hooks_ = nullptr;
+    sched::PolicyConfig policy_config_{};
+    sched::PolicyStack policy_;
+    /** One stateful selector per worker (pick() is single-threaded). */
+    std::vector<std::unique_ptr<sched::VictimSelector>> victims_;
+    StealKind steal_kind_ = StealKind::adaptive;
+    int n_big_ = 0;
+    /** Hint-bit census of the big workers (the biasing gate's input). */
+    std::atomic<int> big_active_{0};
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stop_{false};
+
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> mug_attempts_{0};
+    std::atomic<uint64_t> mugs_{0};
+    std::atomic<uint64_t> requests_sent_{0};
+    std::atomic<uint64_t> tasks_received_{0};
+    std::atomic<uint64_t> declines_{0};
+    std::atomic<uint64_t> forwards_{0};
+    std::atomic<uint64_t> lifeline_holds_{0};
+    std::atomic<uint64_t> lifeline_grants_{0};
+
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<int> sleepers_{0};
+
+    /** Foreign-thread injection queue (enqueue()); see WorkerPool. */
+    std::mutex inject_mutex_;
+    std::deque<RtTask *> injected_;
+    std::atomic<size_t> injected_count_{0};
+};
+
+} // namespace aaws::chan
+
+#endif // AAWS_CHAN_CHANNEL_POOL_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wire format of the channel backend's steal protocol.
+ *
+ * Thieves post a StealRequest into a victim's MPSC mailbox; the holder
+ * of the request answers with exactly one TaskBatch on the thief's SPSC
+ * task channel — tasks if it has them, an empty (declined) batch
+ * otherwise.  Requests that keep failing are forwarded ring-wise, and a
+ * victim with nothing to give may *hold* a request instead of declining
+ * it (the lifeline: work stealing degrades to work sharing — the next
+ * spawn on that victim answers the parked thief directly).
+ */
+
+#ifndef AAWS_CHAN_STEAL_REQUEST_H
+#define AAWS_CHAN_STEAL_REQUEST_H
+
+#include <cstdint>
+
+#include "runtime/task.h"
+
+namespace aaws::chan {
+
+/** How many tasks a thief asks for. */
+enum class StealKind : uint8_t
+{
+    /** Exactly one task per successful steal (classic work stealing). */
+    one,
+    /** Half the victim's queue, capped at kMaxBatch (steal-half). */
+    half,
+    /**
+     * Per-thief switching on success history: a steal that returned
+     * more than one task suggests deep queues (keep stealing halves);
+     * a steal that returned one or none suggests the tail of the
+     * computation (fall back to steal-one, which is cheaper to grant).
+     */
+    adaptive,
+};
+
+const char *stealKindName(StealKind kind);
+
+/**
+ * A thief's request for work.  `kind` is pre-resolved by the thief to
+ * one/half (adaptive never travels on the wire), `mug` marks the
+ * policy-directed mugging raid (targeted: never forwarded or held), and
+ * `tries` counts forwarding hops so a request that circled the ring
+ * parks on a lifeline instead of bouncing forever.
+ */
+struct StealRequest
+{
+    int32_t thief = -1;
+    StealKind kind = StealKind::one;
+    bool mug = false;
+    uint8_t tries = 0;
+};
+
+/** Largest number of tasks one TaskBatch reply can carry. */
+inline constexpr int kMaxBatch = 8;
+
+/**
+ * The reply to a StealRequest.  `count == 0` is an explicit decline
+ * (the thief's request is spent and it may issue a new one); `victim`
+ * identifies who granted, for the onStealSuccess/onMug hooks; `mug` is
+ * echoed from the request so the thief can account the mug at receipt.
+ */
+struct TaskBatch
+{
+    int32_t victim = -1;
+    int32_t count = 0;
+    bool mug = false;
+    RtTask *tasks[kMaxBatch] = {};
+};
+
+} // namespace aaws::chan
+
+#endif // AAWS_CHAN_STEAL_REQUEST_H

@@ -29,6 +29,8 @@ printUsage(const char *prog)
         "  --jobs=N        worker threads (0 = auto; env AAWS_EXP_JOBS)\n"
         "  --filter=SUB    only kernels containing SUB "
         "(env AAWS_KERNEL_FILTER)\n"
+        "  --backend=B     restrict native runs to one backend: "
+        "all|deque|chan (env AAWS_BACKEND)\n"
         "  --no-cache      disable the result cache "
         "(env AAWS_EXP_NO_CACHE)\n"
         "  --cache-dir=D   cache directory "
@@ -56,6 +58,24 @@ progBasename(const char *prog)
 
 } // namespace
 
+bool
+parseBackendSelection(const char *text, BackendSelection &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "all") == 0) {
+        out = BackendSelection::all;
+        return true;
+    }
+    BackendKind kind;
+    if (parseBackendKind(text, kind)) {
+        out = kind == BackendKind::deque ? BackendSelection::deque
+                                         : BackendSelection::chan;
+        return true;
+    }
+    return false;
+}
+
 void
 BenchCli::parse(int argc, char **argv)
 {
@@ -66,6 +86,13 @@ BenchCli::parse(int argc, char **argv)
         engine.bench_json = env;
     if (const char *env = std::getenv("AAWS_RESULTS_JSON"))
         results_json = env;
+    if (const char *env = std::getenv("AAWS_BACKEND")) {
+        // Malformed environment warns and is ignored (the strict-flag /
+        // lenient-env split parseJobs established).
+        if (!parseBackendSelection(env, backend))
+            warn("AAWS_BACKEND='%s' is not all/deque/chan; ignoring",
+                 env);
+    }
     if (argc > 0)
         engine.bench_name = progBasename(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -86,6 +113,11 @@ BenchCli::parse(int argc, char **argv)
             engine.jobs = parsed;
         } else if (const char *value = flagValue(arg, "--filter")) {
             filter = value;
+        } else if (const char *value = flagValue(arg, "--backend")) {
+            if (!parseBackendSelection(value, backend))
+                fatal("--backend: expected all, deque, or chan, "
+                      "got '%s'",
+                      value);
         } else if (const char *value = flagValue(arg, "--cache-dir")) {
             engine.cache_dir = value;
         } else if (std::strcmp(arg, "--no-cache") == 0) {
@@ -115,6 +147,20 @@ bool
 BenchCli::matches(const std::string &name) const
 {
     return filter.empty() || name.find(filter) != std::string::npos;
+}
+
+bool
+BenchCli::backendEnabled(BackendKind kind) const
+{
+    switch (backend) {
+    case BackendSelection::all:
+        return true;
+    case BackendSelection::deque:
+        return kind == BackendKind::deque;
+    case BackendSelection::chan:
+        return kind == BackendKind::chan;
+    }
+    return true;
 }
 
 std::vector<std::string>

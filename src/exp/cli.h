@@ -33,9 +33,29 @@
 
 #include "exp/engine.h"
 #include "exp/results.h"
+#include "runtime/backend.h"
 
 namespace aaws {
 namespace exp {
+
+/** Which native runtime backends a bench run should cover. */
+enum class BackendSelection
+{
+    /** Every backend the bench supports (the default). */
+    all,
+    /** Only runtime::WorkerPool (Chase-Lev deques). */
+    deque,
+    /** Only chan::ChannelPool (steal-request messages). */
+    chan,
+};
+
+/**
+ * Strict parse of a --backend= value ("all", "deque", "chan").
+ * Returns false (leaving `out` untouched) on anything else — callers
+ * decide whether that is fatal (flag) or a warning (environment),
+ * mirroring parseJobs.
+ */
+bool parseBackendSelection(const char *text, BackendSelection &out);
 
 /** Parsed common bench options. */
 struct BenchCli
@@ -52,6 +72,15 @@ struct BenchCli
     ResultsWriter results;
 
     /**
+     * Native-backend restriction for shootout-style benches, from
+     * --backend= (strict; fatal on unknown) or AAWS_BACKEND (malformed
+     * values warn and fall back to `all`).  Benches that run exactly
+     * one pool use backendEnabled() to skip the other side of a
+     * comparison; sim-only benches ignore it.
+     */
+    BackendSelection backend = BackendSelection::all;
+
+    /**
      * Parse the shared flags; fatal() on unknown arguments (benches
      * take no positional operands).  --help prints usage and exits 0.
      */
@@ -59,6 +88,9 @@ struct BenchCli
 
     /** Does a kernel name pass the filter? */
     bool matches(const std::string &name) const;
+
+    /** Should a run on this backend be part of the sweep? */
+    bool backendEnabled(BackendKind kind) const;
 
     /** Filtered copy of a kernel-name list (warns when empty). */
     std::vector<std::string>

@@ -407,6 +407,40 @@ buildClaims()
               {serve, "native_poisson_u70", "dict", "4B4L", "base",
                "accounting_gap"},
               0.0));
+    add(exact("serve/native_chan_conservation_u70", "harness invariant",
+              "native engine on the channel backend: shed + completed "
+              "== submitted",
+              {serve, "native_chan_poisson_u70", "dict", "4B4L", "base",
+               "accounting_gap"},
+              0.0));
+
+    // --- Backend shootout: channel runtime vs Chase-Lev deques ------
+    // The paper's runtime is deque-based; the channel backend
+    // (steal-requests, steal-half, lifelines — after Acar et al. and
+    // Prell) must reproduce the same results and stay in the same
+    // performance regime.  The fib metrics are structural protocol
+    // invariants (robust to hosts where no steal ever fires: a
+    // steal-free run defines tasks-per-steal as 1.0); the median
+    // ratio is wall-clock with a deliberately generous band for noisy
+    // shared runners.
+    const char *t2 = "table2_native_runtime";
+    add(exact("shootout/fib_result_ok", "backend extension",
+              "fine-grained fib computes the right value on every "
+              "channel steal kind",
+              agg(t2, "fib", "result_ok"), 1.0));
+    add(exact("shootout/fib_steal_one_unit", "backend extension",
+              "steal-one grants carry exactly one task per successful "
+              "steal",
+              agg(t2, "fib", "tasks_per_steal_one"), 1.0));
+    add(atLeast("shootout/fib_steal_half_batches", "backend extension",
+                "steal-half moves at least as many tasks per "
+                "successful steal as steal-one on fine-grained fib",
+                agg(t2, "fib", "tasks_per_steal_ratio"), 1.0, 0.0));
+    add(atMost("shootout/chan_vs_ws_median", "backend extension",
+               "channel backend stays in the deque backend's "
+               "performance regime on the Table II kernels (median "
+               "time ratio; generous band for shared runners)",
+               agg(t2, "summary", "median_chan_vs_ws"), 1.5, 1.0));
 
     return claims;
 }

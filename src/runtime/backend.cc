@@ -1,0 +1,35 @@
+#include "runtime/backend.h"
+
+#include <cstring>
+
+namespace aaws {
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+    case BackendKind::deque:
+        return "deque";
+    case BackendKind::chan:
+        return "chan";
+    }
+    return "?";
+}
+
+bool
+parseBackendKind(const char *text, BackendKind &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "deque") == 0) {
+        out = BackendKind::deque;
+        return true;
+    }
+    if (std::strcmp(text, "chan") == 0) {
+        out = BackendKind::chan;
+        return true;
+    }
+    return false;
+}
+
+} // namespace aaws

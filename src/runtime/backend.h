@@ -1,0 +1,115 @@
+/**
+ * @file
+ * RuntimeBackend: the seam between task-parallel algorithms and the
+ * scheduler that runs them.
+ *
+ * Two native backends implement it — `runtime::WorkerPool` (per-worker
+ * Chase-Lev deques raided directly by thieves) and `chan::ChannelPool`
+ * (explicit steal-request messages over bounded channels, modeled on
+ * aprell/tasking-2.0).  TaskGroup, parallelFor, parallelInvoke, and the
+ * serving ingest loop are written against this interface, so every
+ * algorithm and all five AAWS policy variants run on either backend
+ * unchanged.
+ *
+ * The contract mirrors what TaskGroup::wait needs to make a blocking
+ * join productive: spawnTask from a pool thread, enqueueTask from any
+ * thread, and a non-blocking tryTakeTask the waiter can spin on.
+ */
+
+#ifndef AAWS_RUNTIME_BACKEND_H
+#define AAWS_RUNTIME_BACKEND_H
+
+#include <cstdint>
+#include <utility>
+
+#include "runtime/task.h"
+#include "sched/policy_stack.h"
+
+namespace aaws {
+
+/** Selects which native scheduler a bench/example/service runs on. */
+enum class BackendKind
+{
+    /** runtime::WorkerPool — Chase-Lev deques, thieves raid directly. */
+    deque,
+    /** chan::ChannelPool — steal-request messages over channels. */
+    chan,
+};
+
+/** Stable lowercase name ("deque" / "chan") for CLI and artifacts. */
+const char *backendName(BackendKind kind);
+
+/**
+ * Strict parse of a backend name.  Returns false (leaving `out`
+ * untouched) on anything but exactly "deque" or "chan" — callers decide
+ * whether that is fatal (flags) or a warning (environment), mirroring
+ * exp::parseJobs.
+ */
+bool parseBackendKind(const char *text, BackendKind &out);
+
+/**
+ * Abstract native scheduler.  Implementations are fixed-size worker
+ * pools whose constructing thread is worker 0 (the master) and
+ * participates whenever it waits on a TaskGroup.
+ */
+class RuntimeBackend
+{
+  public:
+    virtual ~RuntimeBackend() = default;
+
+    /** Total workers including the master. */
+    virtual int numWorkers() const = 0;
+
+    /** Worker index of the calling thread (master = 0); -1 if foreign. */
+    virtual int currentWorker() const = 0;
+
+    /** Push a heap task as stealable work of the current worker. */
+    virtual void spawnTask(RtTask *task) = 0;
+
+    /**
+     * Submit a heap task from *any* thread — the open-loop ingest path.
+     * Thread-safe; wakes a sleeping worker.
+     */
+    virtual void enqueueTask(RtTask *task) = 0;
+
+    /**
+     * Take one unit of work, or nullptr when nothing was found this
+     * attempt.  Drives the activity-hint hooks: the second consecutive
+     * failed attempt signals waiting; the next success signals active.
+     */
+    virtual RtTask *tryTakeTask() = 0;
+
+    /** Total successful steals (statistics; includes mugs). */
+    virtual uint64_t steals() const = 0;
+
+    /** Mug-policy-directed steal attempts by starved big workers. */
+    virtual uint64_t mugAttempts() const = 0;
+
+    /** Mug attempts that actually migrated a task. */
+    virtual uint64_t mugs() const = 0;
+
+    /** The policy switches this backend was assembled from. */
+    virtual const sched::PolicyConfig &policyConfig() const = 0;
+
+    /** Spawn a closure as a stealable task on the current worker. */
+    template <typename F>
+    void
+    spawn(F &&fn)
+    {
+        spawnTask(new detail::ClosureTask<std::decay_t<F>>(
+            std::forward<F>(fn)));
+    }
+
+    /** Submit a closure from any thread (see enqueueTask). */
+    template <typename F>
+    void
+    enqueue(F &&fn)
+    {
+        enqueueTask(new detail::ClosureTask<std::decay_t<F>>(
+            std::forward<F>(fn)));
+    }
+};
+
+} // namespace aaws
+
+#endif // AAWS_RUNTIME_BACKEND_H

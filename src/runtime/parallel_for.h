@@ -23,7 +23,7 @@ namespace aaws {
  */
 template <typename Body>
 void
-parallelFor(WorkerPool &pool, int64_t lo, int64_t hi, int64_t grain,
+parallelFor(RuntimeBackend &pool, int64_t lo, int64_t hi, int64_t grain,
             const Body &body)
 {
     if (hi <= lo)
@@ -51,7 +51,7 @@ parallelFor(WorkerPool &pool, int64_t lo, int64_t hi, int64_t grain,
  */
 template <typename Body>
 void
-parallelForAuto(WorkerPool &pool, int64_t lo, int64_t hi,
+parallelForAuto(RuntimeBackend &pool, int64_t lo, int64_t hi,
                 const Body &body)
 {
     if (hi <= lo)
@@ -67,7 +67,7 @@ parallelForAuto(WorkerPool &pool, int64_t lo, int64_t hi,
  */
 template <typename T, typename Leaf, typename Combine>
 T
-parallelReduce(WorkerPool &pool, int64_t lo, int64_t hi, int64_t grain,
+parallelReduce(RuntimeBackend &pool, int64_t lo, int64_t hi, int64_t grain,
                T identity, const Leaf &leaf, const Combine &combine)
 {
     if (hi <= lo)

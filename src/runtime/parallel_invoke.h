@@ -14,7 +14,7 @@ namespace aaws {
 /** Run two callables in parallel; returns after both complete. */
 template <typename F0, typename F1>
 void
-parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1)
+parallelInvoke(RuntimeBackend &pool, const F0 &f0, const F1 &f1)
 {
     TaskGroup group(pool);
     group.run(f1);
@@ -25,7 +25,7 @@ parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1)
 /** Run three callables in parallel; returns after all complete. */
 template <typename F0, typename F1, typename F2>
 void
-parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1, const F2 &f2)
+parallelInvoke(RuntimeBackend &pool, const F0 &f0, const F1 &f1, const F2 &f2)
 {
     TaskGroup group(pool);
     group.run(f1);
@@ -37,7 +37,7 @@ parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1, const F2 &f2)
 /** Run four callables in parallel; returns after all complete. */
 template <typename F0, typename F1, typename F2, typename F3>
 void
-parallelInvoke(WorkerPool &pool, const F0 &f0, const F1 &f1, const F2 &f2,
+parallelInvoke(RuntimeBackend &pool, const F0 &f0, const F1 &f1, const F2 &f2,
                const F3 &f3)
 {
     TaskGroup group(pool);

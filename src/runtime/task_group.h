@@ -14,15 +14,15 @@
 #include <atomic>
 #include <thread>
 
-#include "runtime/worker_pool.h"
+#include "runtime/backend.h"
 
 namespace aaws {
 
-/** Structured fork/join scope over a WorkerPool. */
+/** Structured fork/join scope over any RuntimeBackend. */
 class TaskGroup
 {
   public:
-    explicit TaskGroup(WorkerPool &pool) : pool_(pool) {}
+    explicit TaskGroup(RuntimeBackend &pool) : pool_(pool) {}
 
     TaskGroup(const TaskGroup &) = delete;
     TaskGroup &operator=(const TaskGroup &) = delete;
@@ -56,7 +56,7 @@ class TaskGroup
     }
 
   private:
-    WorkerPool &pool_;
+    RuntimeBackend &pool_;
     std::atomic<int64_t> pending_{0};
 };
 

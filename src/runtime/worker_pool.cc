@@ -79,11 +79,14 @@ void
 WorkerPool::spawnTask(RtTask *task)
 {
     int w = currentWorker();
-    // Foreign threads submit through the master's deque.  This is only
-    // safe when the master is not concurrently pushing; the public API
-    // funnels all submission through pool-owned threads, so in practice
-    // this path is the initial root-task submission.
-    AAWS_ASSERT(w >= 0, "spawn from a thread outside the pool");
+    // Foreign threads (including another pool's master) cannot touch a
+    // deque's owner end; their spawns fall back to the cross-thread
+    // injection queue, which workers — and the spawner's own
+    // TaskGroup::wait loop — drain.
+    if (w < 0) {
+        enqueueTask(task);
+        return;
+    }
     if (hooks_)
         hooks_->onSpawn(w);
     deques_[w]->push(task);

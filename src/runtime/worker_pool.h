@@ -30,42 +30,16 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/backend.h"
 #include "runtime/chase_lev_deque.h"
 #include "runtime/hooks.h"
+#include "runtime/task.h"
 #include "sched/policy_stack.h"
 #include "sched/view.h"
 
 namespace aaws {
 
 class WorkerPool;
-
-/** Type-erased heap task: freed by the executor after running. */
-struct RtTask
-{
-    void (*invoke)(RtTask *self);
-
-    virtual ~RtTask() = default;
-};
-
-namespace detail {
-
-/** Concrete closure task. */
-template <typename F>
-struct ClosureTask final : RtTask
-{
-    F fn;
-
-    explicit ClosureTask(F f) : fn(std::move(f))
-    {
-        invoke = [](RtTask *self) {
-            auto *task = static_cast<ClosureTask *>(self);
-            task->fn();
-            delete task;
-        };
-    }
-};
-
-} // namespace detail
 
 /**
  * Scheduling-policy options of a native pool.
@@ -97,7 +71,7 @@ struct PoolOptions
  * (deque size estimates, relaxed census loads) so the shared policy
  * components can drive it.
  */
-class WorkerPool : private sched::SchedView
+class WorkerPool : public RuntimeBackend, private sched::SchedView
 {
   public:
     /**
@@ -118,63 +92,49 @@ class WorkerPool : private sched::SchedView
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
+    /** Single final overrider for both RuntimeBackend and SchedView. */
     int numWorkers() const override
     {
         return static_cast<int>(deques_.size());
     }
 
-    /** Spawn a closure as a stealable task on the current worker. */
-    template <typename F>
-    void
-    spawn(F &&fn)
-    {
-        spawnTask(new detail::ClosureTask<std::decay_t<F>>(
-            std::forward<F>(fn)));
-    }
-
-    /**
-     * Submit a closure from *any* thread — the open-loop ingest path.
-     * Unlike spawn(), which requires a pool thread (deque pushes are
-     * owner-only), enqueue() lands the task in a mutex-guarded FIFO
-     * injection queue that every worker drains alongside stealing, so
-     * a foreign arrival thread can feed a running pool continuously.
-     */
-    template <typename F>
-    void
-    enqueue(F &&fn)
-    {
-        enqueueTask(new detail::ClosureTask<std::decay_t<F>>(
-            std::forward<F>(fn)));
-    }
-
     /** Total successful steals (statistics; includes mugs). */
-    uint64_t steals() const
+    uint64_t steals() const override
     {
         return steals_.load(std::memory_order_relaxed);
     }
 
     /** Mug-policy-directed steal attempts by starved big workers. */
-    uint64_t mugAttempts() const
+    uint64_t mugAttempts() const override
     {
         return mug_attempts_.load(std::memory_order_relaxed);
     }
 
     /** Mug attempts that actually migrated a task. */
-    uint64_t mugs() const
+    uint64_t mugs() const override
     {
         return mugs_.load(std::memory_order_relaxed);
     }
 
     /** The policy switches this pool was assembled from. */
-    const sched::PolicyConfig &policyConfig() const { return policy_config_; }
+    const sched::PolicyConfig &policyConfig() const override
+    {
+        return policy_config_;
+    }
 
     // Internal API used by TaskGroup / parallel algorithms ---------------
 
     /** Push a heap task on the current worker's deque. */
-    void spawnTask(RtTask *task);
+    void spawnTask(RtTask *task) override;
 
-    /** Type-erased enqueue(); thread-safe, wakes a sleeping worker. */
-    void enqueueTask(RtTask *task);
+    /**
+     * Type-erased enqueue(); thread-safe, wakes a sleeping worker.
+     * Unlike spawnTask(), which requires a pool thread (deque pushes
+     * are owner-only), the task lands in a mutex-guarded FIFO injection
+     * queue that every worker drains alongside stealing, so a foreign
+     * arrival thread can feed a running pool continuously.
+     */
+    void enqueueTask(RtTask *task) override;
 
     /**
      * Take one unit of work: own deque first, then a policy-selected
@@ -184,10 +144,10 @@ class WorkerPool : private sched::SchedView
      * the second consecutive failed attempt signals waiting; the next
      * success signals active.
      */
-    RtTask *tryTakeTask();
+    RtTask *tryTakeTask() override;
 
     /** Worker index of the calling thread (master = 0); -1 if foreign. */
-    int currentWorker() const;
+    int currentWorker() const override;
 
   private:
     void workerLoop(int index);

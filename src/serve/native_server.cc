@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/rng.h"
 #include "energy/accountant.h"
 #include "model/first_order.h"
+#include "chan/backend_factory.h"
 #include "runtime/task_group.h"
 #include "runtime/worker_pool.h"
 #include "serve/arrival.h"
@@ -171,7 +173,7 @@ scaledIters(uint64_t mean, double u)
  * other requests' chunks, or whole requests, while its own finish).
  */
 uint64_t
-runRequest(WorkerPool &pool, uint64_t iters, uint32_t fanout)
+runRequest(RuntimeBackend &pool, uint64_t iters, uint32_t fanout)
 {
     if (fanout <= 1)
         return spinWork(iters);
@@ -267,7 +269,9 @@ runNativeService(const NativeServeOptions &options)
     pool_options.policy = policyConfigFor(options.variant);
     pool_options.n_big = n_big;
     pool_options.hooks = &energy_hooks;
-    WorkerPool pool(options.threads, pool_options);
+    std::unique_ptr<RuntimeBackend> backend =
+        chan::makeBackend(options.backend, options.threads, pool_options);
+    RuntimeBackend &pool = *backend;
 
     std::vector<WorkerSlot> slots(options.threads);
     for (WorkerSlot &slot : slots)
@@ -383,7 +387,9 @@ measureNativeServiceSeconds(const NativeServeOptions &options,
     pool_options.policy = policyConfigFor(options.variant);
     pool_options.n_big = std::clamp(options.n_big, 0, options.threads);
     pool_options.hooks = options.hooks;
-    WorkerPool pool(options.threads, pool_options);
+    std::unique_ptr<RuntimeBackend> backend =
+        chan::makeBackend(options.backend, options.threads, pool_options);
+    RuntimeBackend &pool = *backend;
 
     uint64_t work = std::max<uint64_t>(1, options.work_per_request);
     Rng work_rng(deriveSeed(options.seed, kServiceSeedSalt));

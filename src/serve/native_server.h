@@ -34,6 +34,7 @@
 #include <cstdint>
 
 #include "aaws/variant.h"
+#include "runtime/backend.h"
 #include "runtime/hooks.h"
 #include "serve/spec.h"
 #include "sim/serve_stats.h"
@@ -60,6 +61,14 @@ struct NativeServeOptions
     uint32_t fanout = 4;
     /** Optional extra observer chained behind the energy adapter. */
     SchedulerHooks *hooks = nullptr;
+    /**
+     * Which native scheduler serves the requests: the Chase-Lev deque
+     * pool or the channel-based message-passing pool.  Both take the
+     * same policy stacks and the same backend-agnostic enqueue() ingest
+     * path, so the serving invariants (conservation, queue bound) are
+     * checked against either.
+     */
+    BackendKind backend = BackendKind::deque;
 };
 
 /** Outcome of one native serving run. */

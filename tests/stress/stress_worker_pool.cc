@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
+#include <vector>
 
 #include "runtime/parallel_for.h"
 #include "runtime/parallel_invoke.h"
@@ -217,6 +219,58 @@ TEST(WorkerPoolStress, RecursiveInvokeStorm)
         };
         ASSERT_EQ(fib(17), 1597);
     }
+}
+
+TEST(WorkerPoolStress, ForeignProducersVsDrainingWorkers)
+{
+    // Cross-thread injection under contention: several foreign threads
+    // hammer enqueue() concurrently while the pool's workers (and the
+    // master's help loop) drain.  The injection queue must conserve
+    // exactly — every submitted closure runs once — and fork-join work
+    // spawned *from* injected tasks must coexist with the inject path.
+    const int64_t per_producer = envKnob("AAWS_STRESS_INJECT", 4000, 800);
+    const int producers = 4;
+    WorkerPool pool(3);
+    std::atomic<int64_t> done{0};
+    std::atomic<int64_t> nested{0};
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p)
+        threads.emplace_back([&] {
+            for (int64_t i = 0; i < per_producer; ++i) {
+                if (i % 16 == 0)
+                    // A request-like injected task: forks children on
+                    // the pool and joins them before completing.
+                    pool.enqueue([&done, &nested, &pool] {
+                        {
+                            TaskGroup group(pool);
+                            for (int c = 0; c < 3; ++c)
+                                group.run([&nested] {
+                                    nested.fetch_add(
+                                        1, std::memory_order_relaxed);
+                                });
+                        }
+                        done.fetch_add(1, std::memory_order_relaxed);
+                    });
+                else
+                    pool.enqueue([&done] {
+                        done.fetch_add(1, std::memory_order_relaxed);
+                    });
+            }
+        });
+    for (auto &thread : threads)
+        thread.join();
+    const int64_t total = per_producer * producers;
+    while (done.load(std::memory_order_acquire) < total) {
+        RtTask *task = pool.tryTakeTask();
+        if (task)
+            task->invoke(task);
+        else
+            std::this_thread::yield();
+    }
+    EXPECT_EQ(done.load(), total);
+    const int64_t forked = (per_producer + 15) / 16 * producers * 3;
+    EXPECT_EQ(nested.load(), forked);
 }
 
 } // namespace

@@ -288,6 +288,77 @@ TEST(BenchCli, ParseReadsPerfFlags)
         << "bench name is argv[0]'s basename";
 }
 
+TEST(BenchCli, ParseBackendSelectionIsStrict)
+{
+    exp::BackendSelection out = exp::BackendSelection::deque;
+    EXPECT_TRUE(exp::parseBackendSelection("all", out));
+    EXPECT_EQ(out, exp::BackendSelection::all);
+    EXPECT_TRUE(exp::parseBackendSelection("deque", out));
+    EXPECT_EQ(out, exp::BackendSelection::deque);
+    EXPECT_TRUE(exp::parseBackendSelection("chan", out));
+    EXPECT_EQ(out, exp::BackendSelection::chan);
+
+    // Near-misses fail instead of guessing, and leave `out` untouched
+    // so env fallback keeps whatever was already resolved.
+    out = exp::BackendSelection::chan;
+    EXPECT_FALSE(exp::parseBackendSelection("deques", out));
+    EXPECT_FALSE(exp::parseBackendSelection("Chan", out));
+    EXPECT_FALSE(exp::parseBackendSelection("chan ", out));
+    EXPECT_FALSE(exp::parseBackendSelection("", out));
+    EXPECT_FALSE(exp::parseBackendSelection(nullptr, out));
+    EXPECT_EQ(out, exp::BackendSelection::chan);
+}
+
+TEST(BenchCli, ParseReadsBackendFlag)
+{
+    const char *argv[] = {"bench", "--backend=chan"};
+    exp::BenchCli cli;
+    cli.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(cli.backend, exp::BackendSelection::chan);
+    EXPECT_TRUE(cli.backendEnabled(BackendKind::chan));
+    EXPECT_FALSE(cli.backendEnabled(BackendKind::deque));
+}
+
+TEST(BenchCli, BackendDefaultsToAll)
+{
+    const char *argv[] = {"bench"};
+    exp::BenchCli cli;
+    cli.parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(cli.backend, exp::BackendSelection::all);
+    EXPECT_TRUE(cli.backendEnabled(BackendKind::deque));
+    EXPECT_TRUE(cli.backendEnabled(BackendKind::chan));
+}
+
+TEST(BenchCli, BackendEnvParsesAndMalformedIsIgnored)
+{
+    // AAWS_BACKEND follows the strict-flag / lenient-env split
+    // parseJobs established: a malformed environment value warns and
+    // falls back to the default instead of aborting the bench.
+    const char *argv[] = {"bench"};
+    ASSERT_EQ(setenv("AAWS_BACKEND", "deque", 1), 0);
+    {
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_EQ(cli.backend, exp::BackendSelection::deque);
+    }
+    ASSERT_EQ(setenv("AAWS_BACKEND", "channel-based", 1), 0);
+    {
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_EQ(cli.backend, exp::BackendSelection::all)
+            << "malformed env ignored";
+    }
+    // An explicit flag beats even a well-formed environment value.
+    ASSERT_EQ(setenv("AAWS_BACKEND", "deque", 1), 0);
+    {
+        const char *flag_argv[] = {"bench", "--backend=chan"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(flag_argv));
+        EXPECT_EQ(cli.backend, exp::BackendSelection::chan);
+    }
+    ASSERT_EQ(unsetenv("AAWS_BACKEND"), 0);
+}
+
 TEST(Engine, ResolveJobsClampsToBatchSize)
 {
     EXPECT_EQ(exp::resolveJobs(8, 3), 3);

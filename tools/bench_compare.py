@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Compare a fresh micro_sim bench record against a committed baseline.
+"""Compare a fresh micro bench record against a committed baseline.
 
-Both files are single-object aaws-bench-sim/v1 JSON records as emitted
-by ``micro_sim --bench-json=...``.  The comparison is *warn-only* by
-default: shared CI runners are far too noisy to gate merges on
-throughput, so the job prints the delta, annotates the log, and exits 0
-unless ``--fail-below`` is given (for local, quiet-machine use).
+Both files are single-object JSON records as emitted by
+``micro_sim --bench-json=...`` (schema aaws-bench-sim/v1) or
+``micro_runtime --bench-json=...`` (schema aaws-bench-runtime/v1);
+baseline and current must carry the same schema.  The comparison is
+*warn-only* by default: shared CI runners are far too noisy to gate
+merges on throughput, so the job prints the delta, annotates the log,
+and exits 0 unless ``--fail-below`` is given (for local, quiet-machine
+use).
 
 Usage:
     tools/bench_compare.py BASELINE CURRENT [--metric NAME]
@@ -19,7 +22,7 @@ import argparse
 import json
 import sys
 
-EXPECTED_SCHEMA = "aaws-bench-sim/v1"
+KNOWN_SCHEMAS = ("aaws-bench-sim/v1", "aaws-bench-runtime/v1")
 
 
 def load_record(path):
@@ -40,10 +43,10 @@ def load_record(path):
     if not isinstance(record, dict):
         raise SystemExit(f"bench_compare: {path} is not a JSON object")
     schema = record.get("schema")
-    if schema != EXPECTED_SCHEMA:
+    if schema not in KNOWN_SCHEMAS:
         raise SystemExit(
             f"bench_compare: {path}: schema {schema!r}, "
-            f"expected {EXPECTED_SCHEMA!r}")
+            f"expected one of {KNOWN_SCHEMAS!r}")
     return record
 
 
@@ -66,6 +69,10 @@ def main(argv=None):
 
     base = load_record(args.baseline)
     curr = load_record(args.current)
+    if base.get("schema") != curr.get("schema"):
+        raise SystemExit(
+            f"bench_compare: schema mismatch: baseline is "
+            f"{base.get('schema')!r}, current is {curr.get('schema')!r}")
 
     for name, record, path in (("baseline", base, args.baseline),
                                ("current", curr, args.current)):
@@ -90,7 +97,8 @@ def main(argv=None):
     if delta_pct < args.warn_below:
         # ::warning:: renders as an annotation in GitHub Actions logs
         # and is harmless noise everywhere else.
-        print(f"::warning title=micro_sim regression::{args.metric} "
+        print(f"::warning title={curr.get('bench', '?')} "
+              f"regression::{args.metric} "
               f"{delta_pct:+.2f}% vs committed baseline "
               f"(warn threshold {args.warn_below:+.1f}%)")
     else:

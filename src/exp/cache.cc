@@ -17,16 +17,8 @@ namespace aaws {
 namespace exp {
 
 ResultCache::ResultCache(bool enabled, const std::string &dir)
-    : enabled_(enabled)
+    : enabled_(enabled), dir_(dir.empty() ? kDefaultCacheDir : dir)
 {
-    const char *no_cache = std::getenv("AAWS_EXP_NO_CACHE");
-    if (no_cache && *no_cache)
-        enabled_ = false;
-    dir_ = dir;
-    if (dir_.empty()) {
-        const char *env_dir = std::getenv("AAWS_EXP_CACHE_DIR");
-        dir_ = env_dir && *env_dir ? env_dir : kDefaultCacheDir;
-    }
 }
 
 std::string

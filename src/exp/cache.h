@@ -11,9 +11,13 @@
  * harmless temp file behind; corrupt or truncated records are treated
  * as misses and rewritten by the next run.
  *
- * Environment:
- *   AAWS_EXP_CACHE_DIR  cache directory (default `.aaws-cache`)
- *   AAWS_EXP_NO_CACHE   any non-empty value disables the cache
+ * The cache honors exactly what it is constructed with: the
+ * AAWS_EXP_NO_CACHE / AAWS_EXP_CACHE_DIR environment variables are
+ * resolved by the CLI layer (BenchCli::parse, exp/cli.h) and only when
+ * the corresponding flag was not given, preserving the flag-beats-env
+ * contract that --jobs/AAWS_EXP_JOBS and --backend/AAWS_BACKEND
+ * established.  (An earlier version read the environment here, which
+ * let AAWS_EXP_NO_CACHE override a caller's explicitly-enabled cache.)
  */
 
 #ifndef AAWS_EXP_CACHE_H
@@ -34,9 +38,9 @@ class ResultCache
 {
   public:
     /**
-     * @param enabled Master switch (AAWS_EXP_NO_CACHE still wins).
-     * @param dir Cache directory; empty selects AAWS_EXP_CACHE_DIR,
-     *            then kDefaultCacheDir.
+     * @param enabled Master switch; honored as given (the environment
+     *        is the CLI layer's business, see the file comment).
+     * @param dir Cache directory; empty selects kDefaultCacheDir.
      */
     explicit ResultCache(bool enabled = true, const std::string &dir = "");
 

@@ -35,10 +35,12 @@ printUsage(const char *prog)
         "(env AAWS_EXP_NO_CACHE)\n"
         "  --cache-dir=D   cache directory "
         "(env AAWS_EXP_CACHE_DIR; default .aaws-cache)\n"
+        "  --no-batch      disable batched execution (lockstep lanes "
+        "and snapshot forks)\n"
         "  --no-progress   suppress engine progress lines on stderr\n"
         "  --time          print a sims/sec + events/sec line on stderr\n"
         "  --bench-json=F  write a machine-readable perf record to F "
-        "(env AAWS_BENCH_SIM_JSON)\n"
+        "(env AAWS_BENCH_JSON)\n"
         "  --results-json=F  write the aaws-results/v1 datapoint "
         "artifact to F (env AAWS_RESULTS_JSON)\n"
         "  --help          this message\n",
@@ -57,6 +59,24 @@ progBasename(const char *prog)
 }
 
 } // namespace
+
+const char *
+benchJsonEnv(const char *deprecated_alias)
+{
+    if (const char *env = std::getenv("AAWS_BENCH_JSON"))
+        if (*env)
+            return env;
+    if (deprecated_alias) {
+        if (const char *env = std::getenv(deprecated_alias)) {
+            if (*env) {
+                warn("%s is deprecated; set AAWS_BENCH_JSON instead",
+                     deprecated_alias);
+                return env;
+            }
+        }
+    }
+    return nullptr;
+}
 
 bool
 parseBackendSelection(const char *text, BackendSelection &out)
@@ -80,19 +100,15 @@ void
 BenchCli::parse(int argc, char **argv)
 {
     std::string results_json;
-    if (const char *env = std::getenv("AAWS_KERNEL_FILTER"))
-        filter = env;
-    if (const char *env = std::getenv("AAWS_BENCH_SIM_JSON"))
-        engine.bench_json = env;
-    if (const char *env = std::getenv("AAWS_RESULTS_JSON"))
-        results_json = env;
-    if (const char *env = std::getenv("AAWS_BACKEND")) {
-        // Malformed environment warns and is ignored (the strict-flag /
-        // lenient-env split parseJobs established).
-        if (!parseBackendSelection(env, backend))
-            warn("AAWS_BACKEND='%s' is not all/deque/chan; ignoring",
-                 env);
-    }
+    // Flags parse first; the environment fills in only the knobs no
+    // flag set, so a flag always beats its env counterpart (the
+    // --jobs/AAWS_EXP_JOBS contract, uniformly applied).
+    bool filter_given = false;
+    bool backend_given = false;
+    bool no_cache_given = false;
+    bool cache_dir_given = false;
+    bool bench_json_given = false;
+    bool results_json_given = false;
     if (argc > 0)
         engine.bench_name = progBasename(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -113,19 +129,27 @@ BenchCli::parse(int argc, char **argv)
             engine.jobs = parsed;
         } else if (const char *value = flagValue(arg, "--filter")) {
             filter = value;
+            filter_given = true;
         } else if (const char *value = flagValue(arg, "--backend")) {
             if (!parseBackendSelection(value, backend))
                 fatal("--backend: expected all, deque, or chan, "
                       "got '%s'",
                       value);
+            backend_given = true;
         } else if (const char *value = flagValue(arg, "--cache-dir")) {
             engine.cache_dir = value;
+            cache_dir_given = true;
         } else if (std::strcmp(arg, "--no-cache") == 0) {
             engine.use_cache = false;
+            no_cache_given = true;
+        } else if (std::strcmp(arg, "--no-batch") == 0) {
+            engine.batching = false;
         } else if (const char *value = flagValue(arg, "--bench-json")) {
             engine.bench_json = value;
+            bench_json_given = true;
         } else if (const char *value = flagValue(arg, "--results-json")) {
             results_json = value;
+            results_json_given = true;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             engine.progress = false;
         } else if (std::strcmp(arg, "--time") == 0) {
@@ -137,6 +161,37 @@ BenchCli::parse(int argc, char **argv)
             fatal("unknown argument '%s' (try --help)", arg);
         }
     }
+
+    // Environment fallbacks (flag absent only).
+    if (!filter_given)
+        if (const char *env = std::getenv("AAWS_KERNEL_FILTER"))
+            filter = env;
+    if (!bench_json_given)
+        if (const char *env = benchJsonEnv("AAWS_BENCH_SIM_JSON"))
+            engine.bench_json = env;
+    if (!results_json_given)
+        if (const char *env = std::getenv("AAWS_RESULTS_JSON"))
+            results_json = env;
+    if (!backend_given) {
+        if (const char *env = std::getenv("AAWS_BACKEND")) {
+            // Malformed environment warns and is ignored (the
+            // strict-flag / lenient-env split parseJobs established).
+            if (!parseBackendSelection(env, backend))
+                warn("AAWS_BACKEND='%s' is not all/deque/chan; ignoring",
+                     env);
+        }
+    }
+    if (!no_cache_given) {
+        const char *env = std::getenv("AAWS_EXP_NO_CACHE");
+        if (env && *env)
+            engine.use_cache = false;
+    }
+    if (!cache_dir_given) {
+        const char *env = std::getenv("AAWS_EXP_CACHE_DIR");
+        if (env && *env)
+            engine.cache_dir = env;
+    }
+
     if (!results_json.empty())
         results.open(results_json, engine.bench_name.empty()
                                        ? "bench"

@@ -9,14 +9,25 @@
  *   --filter=SUB    only kernels whose name contains SUB
  *                   (env AAWS_KERNEL_FILTER)
  *   --no-cache      disable the result cache for this run
+ *                   (env AAWS_EXP_NO_CACHE)
  *   --cache-dir=D   cache directory (env AAWS_EXP_CACHE_DIR)
+ *   --no-batch      disable batched execution (lockstep lanes and
+ *                   snapshot forks; see exp/engine.h)
  *   --no-progress   suppress the engine's stderr progress lines
  *   --time          print a sims/sec + events/sec self-report line
  *   --bench-json=F  write a machine-readable perf record to F
- *                   (env AAWS_BENCH_SIM_JSON)
+ *                   (env AAWS_BENCH_JSON; the schema-specific
+ *                   AAWS_BENCH_SIM_JSON is a deprecated alias)
  *   --results-json=F  write the aaws-results/v1 datapoint artifact to F
  *                   (env AAWS_RESULTS_JSON; see exp/results.h)
  *   --help          print usage and exit
+ *
+ * Precedence: flags always beat their environment counterparts.  parse()
+ * reads the whole command line first and consults the environment only
+ * for knobs no flag set, so e.g. `AAWS_EXP_NO_CACHE=1 bench --no-cache`
+ * and an explicit `--cache-dir=` are never silently overridden.  (An
+ * earlier version resolved cache env vars inside ResultCache itself,
+ * which inverted this for the cache knobs; see exp/cache.h.)
  *
  * `--jobs` accepts 0 and negative values as "auto" (clamped, with a
  * warning, to the engine's hardware-concurrency detection); the engine
@@ -56,6 +67,16 @@ enum class BackendSelection
  * mirroring parseJobs.
  */
 bool parseBackendSelection(const char *text, BackendSelection &out);
+
+/**
+ * Resolve the bench-JSON output path from the environment: the
+ * schema-neutral AAWS_BENCH_JSON wins; otherwise `deprecated_alias`
+ * (e.g. the historical AAWS_BENCH_SIM_JSON / AAWS_BENCH_RUNTIME_JSON
+ * names) is honored with a deprecation warning.  Returns nullptr when
+ * neither is set to a non-empty value.  Callers apply this only when no
+ * --bench-json flag was given (flag-beats-env).
+ */
+const char *benchJsonEnv(const char *deprecated_alias);
 
 /** Parsed common bench options. */
 struct BenchCli

@@ -4,10 +4,28 @@
  * work-stealing runtime, backed by the content-addressed result cache.
  *
  * runBatch() takes a declarative list of RunSpecs and returns one
- * RunResult per spec *in spec order*: every simulation is one task on a
- * WorkerPool/TaskGroup and writes into its pre-sized slot, so output is
- * independent of scheduling interleavings and `--jobs=N` is
+ * RunResult per spec *in spec order*: every work unit is one task on a
+ * WorkerPool/TaskGroup and writes into its pre-sized slots, so output
+ * is independent of scheduling interleavings and `--jobs=N` is
  * byte-identical to `--jobs=1`.  Cache hits skip simulation entirely.
+ *
+ * Batched execution (EngineOptions::batching, default on): cache
+ * misses are grouped into work units before execution —
+ *
+ *  - *fork units*: specs identical except for the value of exactly one
+ *    SweepKnob (a sensitivity sweep row).  The unit simulates a
+ *    reference run, learns where the knob is first read, replays that
+ *    shared prefix once, snapshots, and forks per sweep value; when
+ *    the knob is never read, the remaining results are clones of the
+ *    reference (the run provably cannot depend on the knob).
+ *
+ *  - *lane units*: remaining misses sharing (kernel, seed) step as
+ *    lockstep lanes of one sim::BatchMachine through a shared event
+ *    queue.
+ *
+ * Every batched path produces results bit-identical to serial
+ * Machine::run (DESIGN.md §10; enforced by the stress fuzz), so
+ * batching changes wall-clock, never output.
  *
  * Observability: progress lines on stderr (done/total, hit/miss
  * counts, elapsed, ETA) plus a final batch summary.
@@ -15,7 +33,9 @@
  * Environment:
  *   AAWS_EXP_JOBS       worker count when options.jobs == 0
  *                       (default: hardware concurrency)
- *   AAWS_EXP_CACHE_DIR / AAWS_EXP_NO_CACHE  see exp/cache.h
+ *   AAWS_EXP_CACHE_DIR / AAWS_EXP_NO_CACHE  resolved by the CLI layer
+ *                       (exp/cli.h) into use_cache/cache_dir; the
+ *                       engine and cache honor the options as given
  */
 
 #ifndef AAWS_EXP_ENGINE_H
@@ -23,6 +43,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/run_spec.h"
@@ -35,9 +56,9 @@ struct EngineOptions
 {
     /** Worker threads; 0 = AAWS_EXP_JOBS, then hardware concurrency. */
     int jobs = 0;
-    /** Master cache switch (AAWS_EXP_NO_CACHE still disables). */
+    /** Master cache switch; honored as given (env is the CLI's job). */
     bool use_cache = true;
-    /** Cache directory ("" = AAWS_EXP_CACHE_DIR, then .aaws-cache). */
+    /** Cache directory ("" = .aaws-cache; env is the CLI's job). */
     std::string cache_dir;
     /** Progress/summary lines on stderr. */
     bool progress = true;
@@ -47,6 +68,27 @@ struct EngineOptions
     std::string bench_json;
     /** Bench name recorded in the BENCH_sim.json record. */
     std::string bench_name;
+    /**
+     * Extra (name, value) metrics appended verbatim to the bench-JSON
+     * record — bench-specific numbers measured outside the engine batch
+     * (e.g. micro_sim's lane_events_per_second) that
+     * tools/bench_compare.py should be able to track by name.
+     */
+    std::vector<std::pair<std::string, double>> extra_metrics;
+    /**
+     * Batched execution (--no-batch disables): group compatible cache
+     * misses into lockstep BatchMachine lanes per (kernel, seed), and
+     * sweep groups differing in exactly one SweepKnob into
+     * snapshot-fork units that simulate the shared prefix once.  Both
+     * paths return results bit-identical to serial execution.
+     */
+    bool batching = true;
+    /**
+     * Smallest shared-prefix length (in events) worth snapshot-forking;
+     * shorter prefixes fall back to lane batching, where the fork
+     * bookkeeping would cost more than the replay it saves.
+     */
+    uint64_t fork_min_prefix_events = 5000;
 };
 
 /** What a batch did (for tests, CI assertions, and callers' logging). */
@@ -58,6 +100,15 @@ struct BatchStats
     double elapsed_seconds = 0.0;
     /** Discrete events processed across executed (non-cached) sims. */
     uint64_t sim_events = 0;
+    /** Misses executed as lanes of a shared-queue BatchMachine. */
+    uint64_t batched_lanes = 0;
+    /** Misses satisfied by a snapshot-fork continuation. */
+    uint64_t fork_runs = 0;
+    /**
+     * Misses satisfied by cloning a reference result because the swept
+     * knob was never read (the run provably cannot depend on it).
+     */
+    uint64_t cloned_results = 0;
 };
 
 /**

@@ -1,0 +1,87 @@
+#include "sim/batch_machine.h"
+
+#include "common/logging.h"
+
+namespace aaws {
+namespace sim {
+
+int
+BatchMachine::addLane(const MachineConfig &config, const TaskDag &dag)
+{
+    AAWS_ASSERT(!ran_, "addLane after BatchMachine::run()");
+    lanes_.push_back(LaneSpec{config, &dag});
+    return static_cast<int>(lanes_.size()) - 1;
+}
+
+std::vector<SimResult>
+BatchMachine::run()
+{
+    AAWS_ASSERT(!ran_, "BatchMachine::run() called twice");
+    ran_ = true;
+    const int n = numLanes();
+    AAWS_ASSERT(n > 0, "BatchMachine::run() with no lanes");
+
+    // Slot layout: lane i owns [base[i], base[i] + eventSlots_i).
+    std::vector<int> base(static_cast<size_t>(n));
+    int total_slots = 0;
+    for (int i = 0; i < n; ++i) {
+        base[static_cast<size_t>(i)] = total_slots;
+        total_slots += 2 * lanes_[static_cast<size_t>(i)].config.numCores() + 1;
+    }
+
+    IndexedEventQueue queue(total_slots);
+    uint64_t seq = 0; // shared tie-break counter, globally monotone
+
+    std::vector<int> slot_lane(static_cast<size_t>(total_slots));
+    std::deque<Machine> machines; // deque: lanes never relocate
+    for (int i = 0; i < n; ++i) {
+        const LaneSpec &lane = lanes_[static_cast<size_t>(i)];
+        machines.emplace_back(
+            lane.config, *lane.dag,
+            BatchBinding{&queue, base[static_cast<size_t>(i)], &seq});
+        const int end =
+            base[static_cast<size_t>(i)] + machines.back().eventSlots();
+        for (int s = base[static_cast<size_t>(i)]; s < end; ++s)
+            slot_lane[static_cast<size_t>(s)] = i;
+    }
+
+    // Boot in lane order.  A lane can in principle complete during
+    // boot (degenerate DAG); disarm it immediately so its slots never
+    // surface in the shared heap.
+    int live = 0;
+    for (int i = 0; i < n; ++i) {
+        Machine &m = machines[static_cast<size_t>(i)];
+        m.boot();
+        if (m.finished())
+            m.cancelPendingEvents();
+        else
+            ++live;
+    }
+
+    // The shared loop: pop globally by (tick, seq), route to the owning
+    // lane by slot range, dispatch with the lane-local slot id.  When a
+    // lane finishes, its leftover events are disarmed (the serial loop
+    // simply abandons them) so the heap drains to empty.
+    while (live > 0 && !queue.empty()) {
+        Tick tick = queue.topTick();
+        int slot = queue.pop();
+        const int lane = slot_lane[static_cast<size_t>(slot)];
+        Machine &m = machines[static_cast<size_t>(lane)];
+        m.dispatchEvent(slot - base[static_cast<size_t>(lane)], tick);
+        if (m.finished()) {
+            m.cancelPendingEvents();
+            --live;
+        }
+    }
+
+    // finalize() asserts finished_ per lane, preserving the serial
+    // loop's deadlock detection.
+    std::vector<SimResult> results;
+    results.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        results.push_back(machines[static_cast<size_t>(i)].finalize());
+    return results;
+}
+
+} // namespace sim
+} // namespace aaws

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structure-of-arrays batch simulation driver (DESIGN.md §10).
+ *
+ * A BatchMachine steps N independent simulations ("lanes") — same or
+ * different kernel DAGs, per-lane seed/variant/V-f/contention
+ * configuration — through ONE shared indexed event queue.  Lane i owns
+ * the contiguous slot range [base_i, base_i + 2*cores_i + 1): its
+ * per-core pending-op slots, per-core transition slots, and controller
+ * slot, exactly the layout a self-owned Machine uses, offset by a
+ * per-lane stride.
+ *
+ * Why the results are bit-identical to serial Machine::run(): lanes
+ * never read each other's state, so a lane's numeric history is fully
+ * determined by the *relative* dispatch order of its own events.  That
+ * order is (tick, seq) lexicographic; the shared sequence counter is
+ * globally monotone, so two events of the same lane are scheduled in
+ * the same relative order — and therefore receive increasing seq in
+ * the same relative order — as in the lane's serial run (induction on
+ * the lane's event history).  Interleaving with other lanes' events
+ * commutes with lane state, hence every lane pops its own events in
+ * exactly its serial order and produces a byte-identical SimResult.
+ * The equivalence fuzz (tests/stress/stress_batch_sim.cc) checks this
+ * across kernels × variants × seeds.
+ *
+ * The win over running the same lanes serially is locality, not
+ * algorithmics: one warm event-queue heap and one driver loop service
+ * all lanes, so for the sweep-style workloads the experiment engine
+ * batches (many small configs over one kernel) the per-event dispatch
+ * overhead amortizes across lanes.
+ */
+
+#ifndef AAWS_SIM_BATCH_MACHINE_H
+#define AAWS_SIM_BATCH_MACHINE_H
+
+#include <deque>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace aaws {
+namespace sim {
+
+/**
+ * Batch driver: add lanes, then run() once.  Lane results come back in
+ * lane order, each bit-identical to `Machine(config, dag).run()`.
+ *
+ * Machines are constructed lazily inside run() (the shared queue must
+ * be sized for the total slot count first); configs are copied so the
+ * caller only needs to keep the DAGs alive.
+ */
+class BatchMachine
+{
+  public:
+    /**
+     * Register one lane.
+     *
+     * @param config Lane configuration (copied).
+     * @param dag Borrowed task graph; must outlive run().
+     * @return The lane id (index into run()'s result vector).
+     */
+    int addLane(const MachineConfig &config, const TaskDag &dag);
+
+    int numLanes() const { return static_cast<int>(lanes_.size()); }
+
+    /** Run every lane to completion; per-lane results in lane order. */
+    std::vector<SimResult> run();
+
+  private:
+    struct LaneSpec
+    {
+        MachineConfig config; ///< Owned copy (deque: stable address).
+        const TaskDag *dag;
+    };
+
+    std::deque<LaneSpec> lanes_;
+    bool ran_ = false;
+};
+
+} // namespace sim
+} // namespace aaws
+
+#endif // AAWS_SIM_BATCH_MACHINE_H

@@ -12,6 +12,13 @@
  * reschedule is an in-place sift and cancel is an O(log n) removal --
  * no stale events ever exist.
  *
+ * Heap entries carry their (tick, seq) key inline rather than indirect
+ * through a per-slot key array: every sift comparison would otherwise
+ * be a dependent load at a heap-order-random slot index, which
+ * dominates pop cost once a BatchMachine widens the heap to N lanes'
+ * worth of slots.  The per-slot `pos_` index alone is enough for the
+ * in-place reschedule and cancel paths.
+ *
  * Ordering is identical to the old `std::priority_queue<Event>` scheme:
  * events pop in (tick, seq) lexicographic order, where `seq` is the
  * caller-supplied monotone sequence number that breaks same-tick ties
@@ -37,8 +44,7 @@ class IndexedEventQueue
 {
   public:
     explicit IndexedEventQueue(int slots)
-        : keys_(static_cast<size_t>(slots)),
-          pos_(static_cast<size_t>(slots), -1)
+        : pos_(static_cast<size_t>(slots), -1)
     {
         heap_.reserve(static_cast<size_t>(slots));
     }
@@ -52,17 +58,16 @@ class IndexedEventQueue
     void
     schedule(int slot, Tick tick, uint64_t seq)
     {
-        keys_[slot] = {tick, seq};
+        Entry entry{{tick, seq}, slot};
         int32_t p = pos_[slot];
         if (p < 0) {
             p = static_cast<int32_t>(heap_.size());
-            heap_.push_back(slot);
-            pos_[slot] = p;
-            siftUp(p);
+            heap_.push_back(entry);
+            siftUp(p, entry);
         } else {
             // In-place reschedule: the new key may sort either way.
-            siftUp(p);
-            siftDown(pos_[slot]);
+            siftUp(p, entry);
+            siftDown(pos_[slot], heap_[pos_[slot]]);
         }
     }
 
@@ -83,17 +88,17 @@ class IndexedEventQueue
     size_t size() const { return heap_.size(); }
 
     /** Slot of the earliest event; queue must be non-empty. */
-    int topSlot() const { return heap_[0]; }
+    int topSlot() const { return heap_[0].slot; }
 
     /** Tick of the earliest event; queue must be non-empty. */
-    Tick topTick() const { return keys_[heap_[0]].tick; }
+    Tick topTick() const { return heap_[0].key.tick; }
 
     /** Remove and return the slot of the earliest event. */
     int
     pop()
     {
         AAWS_ASSERT(!heap_.empty(), "pop from empty event queue");
-        int slot = heap_[0];
+        int slot = heap_[0].slot;
         removeAt(0);
         return slot;
     }
@@ -110,46 +115,47 @@ class IndexedEventQueue
         }
     };
 
+    struct Entry
+    {
+        Key key;
+        int slot = 0;
+    };
+
     void
     removeAt(int32_t p)
     {
-        int slot = heap_[p];
-        pos_[slot] = -1;
+        pos_[heap_[p].slot] = -1;
         int32_t last = static_cast<int32_t>(heap_.size()) - 1;
         if (p != last) {
-            int moved = heap_[last];
-            heap_[p] = moved;
-            pos_[moved] = p;
+            Entry moved = heap_[last];
             heap_.pop_back();
-            siftUp(p);
-            siftDown(pos_[moved]);
+            siftUp(p, moved);
+            siftDown(pos_[moved.slot], heap_[pos_[moved.slot]]);
         } else {
             heap_.pop_back();
         }
     }
 
+    // Hole-based insertion: `entry` is written once at its final
+    // position; intermediate levels only copy downward/upward.
     void
-    siftUp(int32_t p)
+    siftUp(int32_t p, Entry entry)
     {
-        int slot = heap_[p];
-        const Key &key = keys_[slot];
         while (p > 0) {
             int32_t parent = (p - 1) >> 2;
-            if (!(key < keys_[heap_[parent]]))
+            if (!(entry.key < heap_[parent].key))
                 break;
             heap_[p] = heap_[parent];
-            pos_[heap_[p]] = p;
+            pos_[heap_[p].slot] = p;
             p = parent;
         }
-        heap_[p] = slot;
-        pos_[slot] = p;
+        heap_[p] = entry;
+        pos_[entry.slot] = p;
     }
 
     void
-    siftDown(int32_t p)
+    siftDown(int32_t p, Entry entry)
     {
-        int slot = heap_[p];
-        const Key &key = keys_[slot];
         int32_t n = static_cast<int32_t>(heap_.size());
         while (true) {
             int32_t first = (p << 2) + 1;
@@ -158,22 +164,21 @@ class IndexedEventQueue
             int32_t best = first;
             int32_t end = first + 4 < n ? first + 4 : n;
             for (int32_t c = first + 1; c < end; ++c) {
-                if (keys_[heap_[c]] < keys_[heap_[best]])
+                if (heap_[c].key < heap_[best].key)
                     best = c;
             }
-            if (!(keys_[heap_[best]] < key))
+            if (!(heap_[best].key < entry.key))
                 break;
             heap_[p] = heap_[best];
-            pos_[heap_[p]] = p;
+            pos_[heap_[p].slot] = p;
             p = best;
         }
-        heap_[p] = slot;
-        pos_[slot] = p;
+        heap_[p] = entry;
+        pos_[entry.slot] = p;
     }
 
-    std::vector<Key> keys_;    ///< Per-slot key (valid while active).
     std::vector<int32_t> pos_; ///< Per-slot heap position, -1 = inactive.
-    std::vector<int> heap_;    ///< Heap of active slots.
+    std::vector<Entry> heap_;  ///< Active events, key inline with slot.
 };
 
 } // namespace aaws

@@ -359,6 +359,123 @@ TEST(BenchCli, BackendEnvParsesAndMalformedIsIgnored)
     ASSERT_EQ(unsetenv("AAWS_BACKEND"), 0);
 }
 
+TEST(ResultCache, ConstructorIgnoresEnvironment)
+{
+    // The cache honors exactly what it is constructed with; the
+    // environment is resolved by BenchCli::parse.  (An earlier version
+    // read AAWS_EXP_NO_CACHE/AAWS_EXP_CACHE_DIR in this constructor,
+    // which let the environment override a caller's explicit choice.)
+    ASSERT_EQ(setenv("AAWS_EXP_NO_CACHE", "1", 1), 0);
+    ASSERT_EQ(setenv("AAWS_EXP_CACHE_DIR", "/tmp/env-cache-dir", 1), 0);
+    exp::ResultCache cache(true, "/tmp/ctor-cache-dir");
+    EXPECT_TRUE(cache.enabled())
+        << "explicitly-enabled cache survives AAWS_EXP_NO_CACHE";
+    EXPECT_EQ(cache.dir(), "/tmp/ctor-cache-dir");
+    exp::ResultCache defaulted(true);
+    EXPECT_EQ(defaulted.dir(), exp::kDefaultCacheDir)
+        << "empty dir means the compiled-in default, not the env";
+    ASSERT_EQ(unsetenv("AAWS_EXP_NO_CACHE"), 0);
+    ASSERT_EQ(unsetenv("AAWS_EXP_CACHE_DIR"), 0);
+}
+
+TEST(BenchCli, CacheEnvFillsOnlyFlaglessKnobs)
+{
+    ASSERT_EQ(setenv("AAWS_EXP_NO_CACHE", "1", 1), 0);
+    ASSERT_EQ(setenv("AAWS_EXP_CACHE_DIR", "/tmp/env-cache-dir", 1), 0);
+    {
+        const char *argv[] = {"bench"};
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_FALSE(cli.engine.use_cache) << "env fallback applies";
+        EXPECT_EQ(cli.engine.cache_dir, "/tmp/env-cache-dir");
+    }
+    {
+        // Flags beat the environment (the --jobs/AAWS_EXP_JOBS
+        // contract, applied to the cache knobs too).
+        const char *argv[] = {"bench", "--cache-dir=/tmp/flag-dir"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_EQ(cli.engine.cache_dir, "/tmp/flag-dir");
+    }
+    // Empty env values are "unset", not "enable with empty dir".
+    ASSERT_EQ(setenv("AAWS_EXP_NO_CACHE", "", 1), 0);
+    ASSERT_EQ(setenv("AAWS_EXP_CACHE_DIR", "", 1), 0);
+    {
+        const char *argv[] = {"bench"};
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_TRUE(cli.engine.use_cache);
+        EXPECT_EQ(cli.engine.cache_dir, "");
+    }
+    ASSERT_EQ(unsetenv("AAWS_EXP_NO_CACHE"), 0);
+    ASSERT_EQ(unsetenv("AAWS_EXP_CACHE_DIR"), 0);
+}
+
+TEST(BenchCli, FilterFlagBeatsEnvironment)
+{
+    ASSERT_EQ(setenv("AAWS_KERNEL_FILTER", "radix", 1), 0);
+    {
+        const char *argv[] = {"bench"};
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_EQ(cli.filter, "radix");
+    }
+    {
+        const char *argv[] = {"bench", "--filter=dict"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_EQ(cli.filter, "dict");
+    }
+    ASSERT_EQ(unsetenv("AAWS_KERNEL_FILTER"), 0);
+}
+
+TEST(BenchCli, BenchJsonEnvPrefersNeutralName)
+{
+    // AAWS_BENCH_JSON is the schema-neutral name every bench honors;
+    // per-bench names (AAWS_BENCH_SIM_JSON, AAWS_BENCH_RUNTIME_JSON)
+    // are deprecated aliases that still work, with a warning.
+    ASSERT_EQ(setenv("AAWS_BENCH_SIM_JSON", "/tmp/alias.json", 1), 0);
+    EXPECT_STREQ(exp::benchJsonEnv("AAWS_BENCH_SIM_JSON"),
+                 "/tmp/alias.json");
+    ASSERT_EQ(setenv("AAWS_BENCH_JSON", "/tmp/neutral.json", 1), 0);
+    EXPECT_STREQ(exp::benchJsonEnv("AAWS_BENCH_SIM_JSON"),
+                 "/tmp/neutral.json")
+        << "neutral name wins over the alias";
+    EXPECT_STREQ(exp::benchJsonEnv(nullptr), "/tmp/neutral.json");
+    {
+        const char *argv[] = {"bench"};
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_EQ(cli.engine.bench_json, "/tmp/neutral.json");
+    }
+    {
+        const char *argv[] = {"bench", "--bench-json=/tmp/flag.json"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_EQ(cli.engine.bench_json, "/tmp/flag.json")
+            << "flag beats both env names";
+    }
+    ASSERT_EQ(unsetenv("AAWS_BENCH_JSON"), 0);
+    ASSERT_EQ(unsetenv("AAWS_BENCH_SIM_JSON"), 0);
+    EXPECT_EQ(exp::benchJsonEnv("AAWS_BENCH_SIM_JSON"), nullptr);
+}
+
+TEST(BenchCli, ParseReadsNoBatchFlag)
+{
+    {
+        const char *argv[] = {"bench"};
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_TRUE(cli.engine.batching) << "batching is the default";
+    }
+    {
+        const char *argv[] = {"bench", "--no-batch"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(argv));
+        EXPECT_FALSE(cli.engine.batching);
+    }
+}
+
 TEST(Engine, ResolveJobsClampsToBatchSize)
 {
     EXPECT_EQ(exp::resolveJobs(8, 3), 3);
@@ -655,12 +772,13 @@ serveSpecSample()
 
 TEST(RunSpec, CacheSchemaCoversServeDimension)
 {
-    // v3 is the schema that made the serving fields spec-addressable;
-    // a tree that adds serve fields without bumping this would alias
-    // v2 cache entries (see the alias-miss test below).
-    EXPECT_EQ(exp::kCacheSchemaVersion, 3u);
+    // v3 made the serving fields spec-addressable; v4 retired every
+    // record of the pre-batching engine (see kCacheSchemaVersion).  A
+    // tree that adds spec dimensions or execution paths without
+    // bumping this would alias stale entries (alias-miss test below).
+    EXPECT_EQ(exp::kCacheSchemaVersion, 4u);
     std::string closed = exp::canonicalSpec(sampleSpec());
-    EXPECT_NE(closed.find("aaws-exp/v3"), std::string::npos);
+    EXPECT_NE(closed.find("aaws-exp/v4"), std::string::npos);
     // Closed-loop specs stay serve-free so their hashes are stable.
     EXPECT_EQ(closed.find("serve."), std::string::npos);
 
@@ -765,7 +883,7 @@ TEST(ResultCache, PreServeSchemaRecordReadsAsMiss)
     exp::RunSpec closed = serveSpecSample();
     closed.serve.reset();
     std::string v2_canonical = exp::canonicalSpec(closed);
-    size_t tag = v2_canonical.find("aaws-exp/v3");
+    size_t tag = v2_canonical.find("aaws-exp/v4");
     ASSERT_NE(tag, std::string::npos);
     v2_canonical.replace(tag, 11, "aaws-exp/v2");
     {

@@ -77,7 +77,7 @@ main(int argc, char **argv)
         std::printf("%-14d", ba);
         for (int la = 0; la <= 4; ++la) {
             const DvfsTableEntry &e = table.at(ba, la);
-            std::printf("  (%.2f, %.2f) ", e.v_big, e.v_little);
+            std::printf("  (%.2f, %.2f) ", e.vBig(), e.vLittle());
         }
         std::printf("\n");
     }

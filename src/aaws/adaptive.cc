@@ -45,8 +45,13 @@ adaptDvfsTable(const Kernel &kernel, SystemShape shape,
     FirstOrderModel designer(base_config.table_params);
     const double v_min = base_config.table_params.v_min;
     const double v_max = base_config.table_params.v_max;
-    int n_big = base_config.n_big;
-    int n_little = base_config.n_little;
+    // The refinement walks (big-active, little-active) cells, so it is
+    // defined for two-cluster shapes only.
+    const CoreTopology topo = base_config.resolvedTopology();
+    AAWS_ASSERT(topo.numClusters() == 2,
+                "adaptive tuning requires a two-cluster topology");
+    int n_big = topo.cluster(0).count;
+    int n_little = topo.cluster(1).count;
 
     AdaptiveReport report{
         DvfsLookupTable(designer, n_big, n_little), 0, 0, 0, 0, 0, 0, {}};
@@ -93,29 +98,29 @@ adaptDvfsTable(const Kernel &kernel, SystemShape shape,
             int n_trials = 0;
             if (ba > 0) {
                 trials[n_trials] = current;
-                trials[n_trials].v_big = std::clamp(
-                    current.v_big + options.voltage_step, v_min, v_max);
+                trials[n_trials].v[0] = std::clamp(
+                    current.v[0] + options.voltage_step, v_min, v_max);
                 n_trials++;
                 trials[n_trials] = current;
-                trials[n_trials].v_big = std::clamp(
-                    current.v_big - options.voltage_step, v_min, v_max);
+                trials[n_trials].v[0] = std::clamp(
+                    current.v[0] - options.voltage_step, v_min, v_max);
                 n_trials++;
             }
             if (la > 0) {
                 trials[n_trials] = current;
-                trials[n_trials].v_little = std::clamp(
-                    current.v_little + options.voltage_step, v_min,
+                trials[n_trials].v[1] = std::clamp(
+                    current.v[1] + options.voltage_step, v_min,
                     v_max);
                 n_trials++;
                 trials[n_trials] = current;
-                trials[n_trials].v_little = std::clamp(
-                    current.v_little - options.voltage_step, v_min,
+                trials[n_trials].v[1] = std::clamp(
+                    current.v[1] - options.voltage_step, v_min,
                     v_max);
                 n_trials++;
             }
             for (int t = 0; t < n_trials; ++t) {
-                if (std::abs(trials[t].v_big - current.v_big) < 1e-9 &&
-                    std::abs(trials[t].v_little - current.v_little) <
+                if (std::abs(trials[t].v[0] - current.v[0]) < 1e-9 &&
+                    std::abs(trials[t].v[1] - current.v[1]) <
                         1e-9) {
                     continue; // clamped to the same point
                 }
@@ -126,8 +131,8 @@ adaptDvfsTable(const Kernel &kernel, SystemShape shape,
                               trial.power <= power_cap;
                 if (better) {
                     best = trial;
-                    report.accepted.push_back({ba, la, trials[t].v_big,
-                                               trials[t].v_little,
+                    report.accepted.push_back({ba, la, trials[t].v[0],
+                                               trials[t].v[1],
                                                trial.edp});
                     improved = true;
                     break; // greedy: re-rank with fresh counters

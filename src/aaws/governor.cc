@@ -6,28 +6,37 @@
 
 namespace aaws {
 
-PacingGovernor::PacingGovernor(int workers, int n_big,
-                               const sched::PolicyConfig &policy,
+PacingGovernor::PacingGovernor(const sched::PolicyConfig &policy,
                                const DvfsLookupTable &table,
                                const ModelParams &mp,
                                SchedulerHooks *next)
     : table_(table),
       rest_(policy.serial_sprinting, policy.work_pacing,
             policy.work_sprinting),
-      next_(next), n_big_(std::clamp(n_big, 0, workers)),
-      v_nom_(mp.v_nom), v_min_(mp.v_min), v_max_(mp.v_max),
-      active_(static_cast<size_t>(workers), true),
-      census_(n_big_, workers - n_big_, /*all_active=*/true),
-      decisions_(static_cast<size_t>(workers))
+      next_(next), v_nom_(mp.v_nom), v_min_(mp.v_min), v_max_(mp.v_max),
+      active_(static_cast<size_t>(table.topology().numCores()), true),
+      census_(table.topology(), /*all_active=*/true),
+      decisions_(static_cast<size_t>(table.topology().numCores()))
 {
-    AAWS_ASSERT(workers >= 1, "governor needs at least one worker");
-    AAWS_ASSERT(table_.nBig() == n_big_ &&
-                    table_.nLittle() == workers - n_big_,
-                "lookup table (%dB%dL) does not match pool (%dB%dL)",
-                table_.nBig(), table_.nLittle(), n_big_,
-                workers - n_big_);
+    AAWS_ASSERT(table.topology().numCores() >= 1,
+                "governor needs at least one worker");
     std::lock_guard<std::mutex> lock(mutex_);
     redecide();
+}
+
+PacingGovernor::PacingGovernor(int workers, int n_big,
+                               const sched::PolicyConfig &policy,
+                               const DvfsLookupTable &table,
+                               const ModelParams &mp,
+                               SchedulerHooks *next)
+    : PacingGovernor(policy, table, mp, next)
+{
+    n_big = std::clamp(n_big, 0, workers);
+    AAWS_ASSERT(table_.nBig() == n_big &&
+                    table_.nLittle() == workers - n_big,
+                "lookup table (%dB%dL) does not match pool (%dB%dL)",
+                table_.nBig(), table_.nLittle(), n_big,
+                workers - n_big);
 }
 
 void
@@ -37,9 +46,7 @@ PacingGovernor::onWorkerActive(int worker)
         std::lock_guard<std::mutex> lock(mutex_);
         if (!active_[worker]) {
             active_[worker] = true;
-            census_.note(worker < n_big_ ? CoreType::big
-                                         : CoreType::little,
-                         true);
+            census_.note(table_.topology().clusterOf(worker), true);
             redecide();
         }
     }
@@ -54,9 +61,7 @@ PacingGovernor::onWorkerWaiting(int worker)
         std::lock_guard<std::mutex> lock(mutex_);
         if (active_[worker]) {
             active_[worker] = false;
-            census_.note(worker < n_big_ ? CoreType::big
-                                         : CoreType::little,
-                         false);
+            census_.note(table_.topology().clusterOf(worker), false);
             redecide();
         }
     }
@@ -125,12 +130,10 @@ PacingGovernor::redecide()
             d.voltage = v_max_;
             break;
           case sched::VoltageIntent::sprint_table:
-            if (!entry) {
-                entry = &table_.at(census_.bigActive(),
-                                   census_.littleActive());
-            }
-            d.voltage = static_cast<int>(i) < n_big_ ? entry->v_big
-                                                     : entry->v_little;
+            if (!entry)
+                entry = &table_.atCounts(census_.counts());
+            d.voltage =
+                entry->v[table_.topology().clusterOf(static_cast<int>(i))];
             sprint_intents_++;
             break;
         }

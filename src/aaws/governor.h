@@ -44,22 +44,31 @@ struct GovernorDecision
 /**
  * Hook-driven census + lookup-table V/f decisions for a native pool.
  *
- * Workers 0..n_big-1 are treated as big cores, matching
- * `runtime::PoolOptions`.  Thread-safe; decisions are serialized by an
- * internal mutex (census changes are rare next to steals).
+ * The worker-cluster assignment comes from the lookup table's
+ * CoreTopology, matching `runtime::PoolOptions`; the legacy
+ * constructor's n_big prefix split is the two-cluster special case.
+ * Thread-safe; decisions are serialized by an internal mutex (census
+ * changes are rare next to steals).
  */
 class PacingGovernor : public SchedulerHooks
 {
   public:
     /**
-     * @param workers Total pool workers; all start active.
-     * @param n_big Workers 0..n_big-1 are big (clamped to `workers`).
      * @param policy Which intents the rest policy may emit.
-     * @param table Borrowed lookup table sized (n_big, workers - n_big);
-     *              must outlive the governor.
+     * @param table Borrowed lookup table; its topology defines the
+     *              worker count and cluster split.  Must outlive the
+     *              governor.
      * @param mp Model parameters supplying v_nom / v_min / v_max.
      * @param next Optional downstream hooks (borrowed); every callback
      *             is forwarded after the governor's own bookkeeping.
+     */
+    PacingGovernor(const sched::PolicyConfig &policy,
+                   const DvfsLookupTable &table, const ModelParams &mp,
+                   SchedulerHooks *next = nullptr);
+
+    /**
+     * Legacy two-cluster form: workers 0..n_big-1 are big.  The table
+     * must be sized (n_big, workers - n_big).
      */
     PacingGovernor(int workers, int n_big,
                    const sched::PolicyConfig &policy,
@@ -99,7 +108,6 @@ class PacingGovernor : public SchedulerHooks
     const DvfsLookupTable &table_;
     sched::RestPolicy rest_;
     SchedulerHooks *next_;
-    int n_big_;
     double v_nom_;
     double v_min_;
     double v_max_;

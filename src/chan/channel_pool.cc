@@ -32,9 +32,19 @@ ChannelPool::ChannelPool(int threads, const PoolOptions &options,
                          StealKind steal)
     : hooks_(options.hooks), policy_config_(options.policy),
       policy_(sched::makePolicyStack(options.policy)),
-      steal_kind_(steal), n_big_(std::clamp(options.n_big, 0, threads))
+      steal_kind_(steal)
 {
     AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
+    if (options.topology.empty()) {
+        int n_big = std::clamp(options.n_big, 0, threads);
+        topo_ = CoreTopology::bigLittle(n_big, threads - n_big,
+                                        ModelParams{});
+    } else {
+        topo_ = options.topology;
+        AAWS_ASSERT(topo_.numCores() == threads,
+                    "pool topology has %d cores for %d workers",
+                    topo_.numCores(), threads);
+    }
     workers_.reserve(threads);
     victims_.reserve(threads);
     for (int i = 0; i < threads; ++i) {
@@ -43,7 +53,12 @@ ChannelPool::ChannelPool(int threads, const PoolOptions &options,
             options.policy.victim,
             options.policy.victim_seed + static_cast<uint64_t>(i)));
     }
-    big_active_.store(n_big_, std::memory_order_relaxed);
+    // All hint bits power up active, as the paper's cores do.
+    cluster_active_ =
+        std::make_unique<std::atomic<int>[]>(topo_.numClusters());
+    for (int k = 0; k < topo_.numClusters(); ++k)
+        cluster_active_[k].store(topo_.cluster(k).count,
+                                 std::memory_order_relaxed);
     // The constructing thread is the master (worker 0).
     tls_pool = this;
     tls_worker = 0;
@@ -345,10 +360,10 @@ ChannelPool::maybeSendRequest(int self)
     req.thief = self;
     req.kind = resolveKind(self);
     // Work-mugging as a message: when the mug trigger fires for this
-    // starved big worker, the request goes straight to the policy's
-    // muggee with the mug flag set, bypassing victim selection.
-    if (policy_.mug.wantsMug(coreType(self), w.failed)) {
-        int muggee = policy_.mug.pickMuggee(view);
+    // starved fast-cluster worker, the request goes straight to the
+    // policy's muggee with the mug flag set, bypassing victim selection.
+    if (policy_.mug.wantsMug(view, self, w.failed)) {
+        int muggee = policy_.mug.pickMuggee(view, topo_.clusterOf(self));
         if (muggee >= 0 && muggee != self) {
             req.mug = true;
             mug_attempts_.fetch_add(1, std::memory_order_relaxed);
@@ -399,8 +414,8 @@ ChannelPool::noteFound(int self)
     w.failed = 0;
     if (w.waiting.load(std::memory_order_relaxed)) {
         w.waiting.store(false, std::memory_order_relaxed);
-        if (coreType(self) == CoreType::big)
-            big_active_.fetch_add(1, std::memory_order_relaxed);
+        cluster_active_[topo_.clusterOf(self)].fetch_add(
+            1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerActive(self);
     }
@@ -416,8 +431,8 @@ ChannelPool::noteFailed(int self)
     w.failed = std::min(w.failed + 1, 1 << 20);
     if (w.failed == 2 && !w.waiting.load(std::memory_order_relaxed)) {
         w.waiting.store(true, std::memory_order_relaxed);
-        if (coreType(self) == CoreType::big)
-            big_active_.fetch_sub(1, std::memory_order_relaxed);
+        cluster_active_[topo_.clusterOf(self)].fetch_sub(
+            1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerWaiting(self);
     }

@@ -62,7 +62,7 @@ namespace aaws::chan {
  * thread is worker 0 (the master) and participates whenever it waits on
  * a TaskGroup; `threads - 1` additional worker threads are spawned.
  *
- * Reuses `runtime`'s PoolOptions (policy assembly, core-type split,
+ * Reuses `runtime`'s PoolOptions (policy assembly, worker-cluster split,
  * hooks); `steal` additionally selects the request granularity
  * (steal-one / steal-half / adaptive), which is a backend mechanism,
  * not an AAWS policy switch.
@@ -218,11 +218,6 @@ class ChannelPool : public RuntimeBackend, private sched::SchedView
         return workers_[worker]->indicator.load(std::memory_order_relaxed);
     }
 
-    CoreType coreType(int core) const override
-    {
-        return core < n_big_ ? CoreType::big : CoreType::little;
-    }
-
     sched::CoreActivity activity(int core) const override
     {
         return workers_[core]->waiting.load(std::memory_order_relaxed)
@@ -230,11 +225,18 @@ class ChannelPool : public RuntimeBackend, private sched::SchedView
                    : sched::CoreActivity::running;
     }
 
-    int numBig() const override { return n_big_; }
+    int numClusters() const override { return topo_.numClusters(); }
 
-    int bigActive() const override
+    int clusterOf(int core) const override { return topo_.clusterOf(core); }
+
+    int clusterSize(int cluster) const override
     {
-        return big_active_.load(std::memory_order_relaxed);
+        return topo_.cluster(cluster).count;
+    }
+
+    int clusterActive(int cluster) const override
+    {
+        return cluster_active_[cluster].load(std::memory_order_relaxed);
     }
 
     std::vector<std::unique_ptr<WorkerState>> workers_;
@@ -244,9 +246,13 @@ class ChannelPool : public RuntimeBackend, private sched::SchedView
     /** One stateful selector per worker (pick() is single-threaded). */
     std::vector<std::unique_ptr<sched::VictimSelector>> victims_;
     StealKind steal_kind_ = StealKind::adaptive;
-    int n_big_ = 0;
-    /** Hint-bit census of the big workers (the biasing gate's input). */
-    std::atomic<int> big_active_{0};
+    /** Worker-cluster assignment (options.topology or the n_big split). */
+    CoreTopology topo_;
+    /**
+     * Hint-bit census per cluster (the biasing gate's input).  Array,
+     * not vector: atomics are not movable.
+     */
+    std::unique_ptr<std::atomic<int>[]> cluster_active_;
     std::vector<std::thread> threads_;
     std::atomic<bool> stop_{false};
 

@@ -1,26 +1,19 @@
 #include "dvfs/controller.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace aaws {
 
 DvfsController::DvfsController(const DvfsLookupTable &table,
                                const DvfsPolicy &policy,
-                               std::vector<CoreType> core_types,
                                const ModelParams &mp)
     : table_(table), policy_(policy),
       rest_(policy.serial_sprinting, policy.work_pacing,
             policy.work_sprinting),
-      core_types_(std::move(core_types)), v_nom_(mp.v_nom),
-      v_min_(mp.v_min), v_max_(mp.v_max)
+      v_nom_(mp.v_nom), v_min_(mp.v_min), v_max_(mp.v_max)
 {
-    int n_big = 0;
-    int n_little = 0;
-    for (CoreType t : core_types_)
-        (t == CoreType::big ? n_big : n_little)++;
-    AAWS_ASSERT(n_big == table_.nBig() && n_little == table_.nLittle(),
-                "core types (%dB%dL) do not match table (%dB%dL)", n_big,
-                n_little, table_.nBig(), table_.nLittle());
 }
 
 std::vector<double>
@@ -37,8 +30,8 @@ DvfsController::decideInto(const std::vector<bool> &active,
                            int serial_core,
                            std::vector<double> &out) const
 {
-    sched::ActivityCensus census(table_.nBig(), table_.nLittle());
-    census.recount(active, core_types_);
+    sched::ActivityCensus census(table_.topology());
+    census.recount(active, table_.topology().coreClusters());
     decideInto(active, census, serial_core, out);
 }
 
@@ -50,11 +43,12 @@ DvfsController::decideInto(const std::vector<bool> &active,
 {
     AAWS_ASSERT(static_cast<int>(active.size()) == numCores(),
                 "activity vector size mismatch");
+    const CoreTopology &topo = table_.topology();
+    const std::vector<int> &cluster_of = topo.coreClusters();
     out.assign(active.size(), v_nom_);
 
     const bool serial_hinted = serial_core >= 0;
-    const bool all_active = census.bigActive() == table_.nBig() &&
-                            census.littleActive() == table_.nLittle();
+    const bool all_active = census.allActive();
     // The table entry every sprint_table intent maps to: the census
     // cell (all-active pacing is just the full cell).
     const DvfsTableEntry *entry = nullptr;
@@ -72,14 +66,28 @@ DvfsController::decideInto(const std::vector<bool> &active,
             out[i] = v_max_;
             break;
           case sched::VoltageIntent::sprint_table:
-            if (!entry) {
-                entry = &table_.at(census.bigActive(),
-                                   census.littleActive());
-            }
-            out[i] = core_types_[i] == CoreType::big ? entry->v_big
-                                                     : entry->v_little;
+            if (!entry)
+                entry = &table_.atCounts(census.counts());
+            out[i] = entry->v[cluster_of[i]];
             break;
         }
+    }
+
+    // Shared-rail clusters get one voltage: the max of their cores'
+    // individual targets (a shared rail cannot rest one core while
+    // another sprints).  Per-core-rail clusters — the paper's machine —
+    // skip this entirely.
+    for (int k = 0; k < topo.numClusters(); ++k) {
+        if (topo.cluster(k).domain != DvfsDomain::per_cluster ||
+            topo.cluster(k).count == 0)
+            continue;
+        const int begin = topo.clusterBegin(k);
+        const int end = begin + topo.cluster(k).count;
+        double rail = out[begin];
+        for (int i = begin + 1; i < end; ++i)
+            rail = std::max(rail, out[i]);
+        for (int i = begin; i < end; ++i)
+            out[i] = rail;
     }
 }
 

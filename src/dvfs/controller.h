@@ -11,9 +11,17 @@
  *    cores speed up);
  *  - work-sprinting: when some cores wait in the steal loop, rest them at
  *    v_min and sprint the active cores with the table entry for the
- *    current (active-big, active-little) counts;
+ *    current activity census;
  *  - serial-sprinting: during a truly serial region, sprint the single
  *    active core to v_max (included in the paper's *baseline* runtime).
+ *
+ * The machine shape comes from the lookup table's CoreTopology: table
+ * entries carry one voltage per cluster and each core receives its
+ * cluster's voltage.  Clusters with a shared rail
+ * (DvfsDomain::per_cluster) are then collapsed to the maximum of their
+ * cores' individual targets — a shared rail cannot rest one core while
+ * sprinting its neighbor.  The paper's per-core-rail machine never hits
+ * that pass, so the legacy path is untouched.
  *
  * Timing (transition latency, decision locking) is handled by the
  * simulator; this class is a pure activity -> voltages function.  The
@@ -53,11 +61,11 @@ class DvfsController
   public:
     /**
      * @param table Borrowed lookup table; must outlive the controller.
+     *              Its topology defines the machine shape.
      * @param policy Enabled techniques.
-     * @param core_types Static core type of every physical core.
      */
     DvfsController(const DvfsLookupTable &table, const DvfsPolicy &policy,
-                   std::vector<CoreType> core_types, const ModelParams &mp);
+                   const ModelParams &mp);
 
     /**
      * Compute target voltages from the activity bits.
@@ -91,13 +99,12 @@ class DvfsController
     const DvfsPolicy &policy() const { return policy_; }
     /** The rest/sprint intent policy the voltages are mapped from. */
     const sched::RestPolicy &restPolicy() const { return rest_; }
-    int numCores() const { return static_cast<int>(core_types_.size()); }
+    int numCores() const { return table_.topology().numCores(); }
 
   private:
     const DvfsLookupTable &table_;
     DvfsPolicy policy_;
     sched::RestPolicy rest_;
-    std::vector<CoreType> core_types_;
     double v_nom_;
     double v_min_;
     double v_max_;

@@ -6,10 +6,66 @@ namespace aaws {
 
 DvfsLookupTable::DvfsLookupTable(const FirstOrderModel &model, int n_big,
                                  int n_little)
-    : n_big_(n_big), n_little_(n_little)
+    : topology_(CoreTopology::bigLittle(n_big, n_little, model.params()))
 {
     AAWS_ASSERT(n_big >= 0 && n_little >= 0 && n_big + n_little > 0,
                 "bad machine shape %dB%dL", n_big, n_little);
+    generate(model);
+}
+
+DvfsLookupTable::DvfsLookupTable(const FirstOrderModel &model,
+                                 const CoreTopology &topology)
+    : topology_(topology)
+{
+    AAWS_ASSERT(!topology_.empty() && topology_.numCores() > 0,
+                "bad machine topology");
+    generate(model);
+}
+
+void
+DvfsLookupTable::generate(const FirstOrderModel &model)
+{
+    if (topology_.isLegacyBigLittle(model.params())) {
+        // The original two-type path, kept verbatim: big/little tables
+        // must stay bit-identical to the pre-topology code.
+        generateLegacyBigLittle(model);
+        return;
+    }
+    ClusterOptimizer opt(model, topology_);
+    const int n = topology_.numClusters();
+    const double v_nom = model.params().v_nom;
+    entries_.resize(topology_.censusCells());
+    ClusterActivity act;
+    act.active.assign(n, 0);
+    act.waiting.assign(n, 0);
+    for (int index = 0; index < topology_.censusCells(); ++index) {
+        DvfsTableEntry &entry = entries_[index];
+        topology_.censusFromIndex(index, act.active);
+        bool any_active = false;
+        for (int k = 0; k < n; ++k) {
+            act.waiting[k] = topology_.cluster(k).count - act.active[k];
+            any_active = any_active || act.active[k] > 0;
+        }
+        if (!any_active) {
+            // Nothing active: voltages are unused; keep nominal.
+            entry.v.assign(n, v_nom);
+            entry.speedup = 1.0;
+            continue;
+        }
+        ClusterOperatingPoint point =
+            opt.solve(act, opt.targetPower(act));
+        entry.v.resize(n);
+        for (int k = 0; k < n; ++k)
+            entry.v[k] = act.active[k] > 0 ? point.v[k] : v_nom;
+        entry.speedup = point.speedup;
+    }
+}
+
+void
+DvfsLookupTable::generateLegacyBigLittle(const FirstOrderModel &model)
+{
+    const int n_big = topology_.cluster(0).count;
+    const int n_little = topology_.cluster(1).count;
     MarginalUtilityOptimizer opt(model);
     double v_nom = model.params().v_nom;
     entries_.resize((n_big + 1) * (n_little + 1));
@@ -19,7 +75,7 @@ DvfsLookupTable::DvfsLookupTable(const FirstOrderModel &model, int n_big,
                 entries_[ba * (n_little + 1) + la];
             if (ba == 0 && la == 0) {
                 // Nothing active: voltages are unused; keep nominal.
-                entry = DvfsTableEntry{v_nom, v_nom, 1.0};
+                entry = DvfsTableEntry::bigLittle(v_nom, v_nom, 1.0);
                 continue;
             }
             CoreActivity act;
@@ -29,32 +85,74 @@ DvfsLookupTable::DvfsLookupTable(const FirstOrderModel &model, int n_big,
             act.n_little_waiting = n_little - la;
             OperatingPoint point =
                 opt.solve(act, opt.targetPower(act), /*feasible=*/true);
-            entry.v_big = ba > 0 ? point.v_big : v_nom;
-            entry.v_little = la > 0 ? point.v_little : v_nom;
+            entry.v = {ba > 0 ? point.v_big : v_nom,
+                       la > 0 ? point.v_little : v_nom};
             entry.speedup = point.speedup;
         }
     }
+}
+
+int
+DvfsLookupTable::nBig() const
+{
+    AAWS_ASSERT(topology_.numClusters() == 2,
+                "nBig() on a %d-cluster table", topology_.numClusters());
+    return topology_.cluster(0).count;
+}
+
+int
+DvfsLookupTable::nLittle() const
+{
+    AAWS_ASSERT(topology_.numClusters() == 2,
+                "nLittle() on a %d-cluster table",
+                topology_.numClusters());
+    return topology_.cluster(1).count;
 }
 
 void
 DvfsLookupTable::setEntry(int n_big_active, int n_little_active,
                           const DvfsTableEntry &entry)
 {
-    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= n_big_ &&
-                n_little_active >= 0 && n_little_active <= n_little_,
+    AAWS_ASSERT(topology_.numClusters() == 2,
+                "setEntry(ba, la) on a %d-cluster table",
+                topology_.numClusters());
+    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= nBig() &&
+                n_little_active >= 0 && n_little_active <= nLittle(),
                 "activity (%d,%d) outside %dB%dL table", n_big_active,
-                n_little_active, n_big_, n_little_);
-    entries_[n_big_active * (n_little_ + 1) + n_little_active] = entry;
+                n_little_active, nBig(), nLittle());
+    setEntryAt(n_big_active * (nLittle() + 1) + n_little_active, entry);
+}
+
+void
+DvfsLookupTable::setEntryAt(int index, const DvfsTableEntry &entry)
+{
+    AAWS_ASSERT(index >= 0 && index < size(),
+                "entry index %d outside table of %d", index, size());
+    AAWS_ASSERT(static_cast<int>(entry.v.size()) ==
+                    topology_.numClusters(),
+                "entry arity %zu does not match %d clusters",
+                entry.v.size(), topology_.numClusters());
+    entries_[index] = entry;
 }
 
 const DvfsTableEntry &
 DvfsLookupTable::at(int n_big_active, int n_little_active) const
 {
-    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= n_big_ &&
-                n_little_active >= 0 && n_little_active <= n_little_,
+    AAWS_ASSERT(topology_.numClusters() == 2,
+                "at(ba, la) on a %d-cluster table",
+                topology_.numClusters());
+    AAWS_ASSERT(n_big_active >= 0 && n_big_active <= nBig() &&
+                n_little_active >= 0 && n_little_active <= nLittle(),
                 "activity (%d,%d) outside %dB%dL table", n_big_active,
-                n_little_active, n_big_, n_little_);
-    return entries_[n_big_active * (n_little_ + 1) + n_little_active];
+                n_little_active, nBig(), nLittle());
+    return entries_[n_big_active * (topology_.cluster(1).count + 1) +
+                    n_little_active];
+}
+
+const DvfsTableEntry &
+DvfsLookupTable::atCounts(const std::vector<int> &counts) const
+{
+    return entries_[topology_.censusIndex(counts)];
 }
 
 } // namespace aaws

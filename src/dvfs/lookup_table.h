@@ -1,13 +1,26 @@
 /**
  * @file
- * Lookup-table DVFS policy (Section III-A).
+ * Lookup-table DVFS policy (Section III-A), generalized to N clusters.
  *
- * The controller maps the number of active little cores and active big
- * cores to per-type supply voltages.  For a 4B4L system there are five
- * possible values of each count (0..4), i.e. a 25-entry table.  Each
- * entry is generated offline from the marginal-utility optimizer using a
- * single system-wide (alpha, beta) estimate; waiting cores rest at v_min
- * and the power target is the all-nominal system power (Eq. 6).
+ * The controller maps the activity census — how many cores of each
+ * cluster are active — to per-cluster supply voltages.  For the
+ * paper's 4B4L system the census is the (active-big, active-little)
+ * pair and the table has 25 entries; an N-cluster topology gets one
+ * cell per census tuple, prod_k (count_k + 1) in total, indexed by the
+ * topology's mixed-radix censusIndex() (fastest cluster most
+ * significant, which for two clusters is exactly the historical
+ * `ba * (n_little + 1) + la` layout).
+ *
+ * Entries are generated offline from a marginal-utility optimizer
+ * using a single system-wide parameter estimate; waiting cores rest at
+ * v_min and the power target is the all-nominal system power (Eq. 6).
+ * Legacy big/little topologies route through the original two-type
+ * MarginalUtilityOptimizer so their tables are bit-identical to the
+ * pre-topology code; everything else uses the N-cluster
+ * equi-marginal solver (model/cluster_opt.h).  Table generation is
+ * DVFS-domain-agnostic: a per_cluster shared rail constrains how the
+ * controller *applies* voltages (dvfs/controller.h), not which
+ * operating points the designer tabulates.
  */
 
 #ifndef AAWS_DVFS_LOOKUP_TABLE_H
@@ -15,53 +28,99 @@
 
 #include <vector>
 
+#include "model/cluster_opt.h"
 #include "model/optimizer.h"
+#include "model/topology.h"
 
 namespace aaws {
 
-/** One (n_big_active, n_little_active) -> voltages entry. */
+/** One census tuple -> per-cluster voltages entry. */
 struct DvfsTableEntry
 {
-    double v_big = 1.0;    ///< Voltage for active big cores.
-    double v_little = 1.0; ///< Voltage for active little cores.
-    double speedup = 1.0;  ///< Model-predicted speedup of the entry.
+    /** Voltage for the active cores of each cluster, fastest first. */
+    std::vector<double> v;
+    /** Model-predicted speedup of the entry. */
+    double speedup = 1.0;
+
+    /** Two-cluster conveniences for big/little call sites. */
+    double vBig() const { return v.front(); }
+    double vLittle() const { return v.back(); }
+
+    /** Build a two-cluster entry (tests, adaptive refinement). */
+    static DvfsTableEntry
+    bigLittle(double v_big, double v_little, double speedup = 1.0)
+    {
+        DvfsTableEntry entry;
+        entry.v = {v_big, v_little};
+        entry.speedup = speedup;
+        return entry;
+    }
 };
 
-/**
- * The full (N_B + 1) x (N_L + 1) voltage table for one machine shape.
- */
+/** The full per-census voltage table for one machine topology. */
 class DvfsLookupTable
 {
   public:
     /**
-     * Generate the table with the marginal-utility optimizer.
-     *
-     * @param model First-order model with the system-wide alpha/beta
-     *              estimates used by the hardware designer.
-     * @param n_big Total big cores in the machine.
-     * @param n_little Total little cores in the machine.
+     * Legacy shape: generate the (N_B + 1) x (N_L + 1) big/little
+     * table.  Equivalent to the topology constructor with
+     * CoreTopology::bigLittle(n_big, n_little, model.params()).
      */
     DvfsLookupTable(const FirstOrderModel &model, int n_big, int n_little);
 
-    /** Entry for the given active-core counts. */
+    /**
+     * Generate the table for an arbitrary topology with the
+     * marginal-utility optimizer.
+     *
+     * @param model First-order model with the system-wide parameter
+     *              estimates used by the hardware designer.
+     * @param topology Machine shape; class parameters should be derived
+     *              from the *same* model (CoreTopology::retargeted).
+     */
+    DvfsLookupTable(const FirstOrderModel &model,
+                    const CoreTopology &topology);
+
+    /** Entry for a two-cluster (big-active, little-active) census. */
     const DvfsTableEntry &at(int n_big_active, int n_little_active) const;
 
-    int nBig() const { return n_big_; }
-    int nLittle() const { return n_little_; }
+    /** Entry for a census tuple (one active count per cluster). */
+    const DvfsTableEntry &atCounts(const std::vector<int> &counts) const;
 
-    /** Number of entries ((N_B + 1) * (N_L + 1); 25 for 4B4L). */
+    /** Entry by mixed-radix census index. */
+    const DvfsTableEntry &
+    atIndex(int index) const
+    {
+        return entries_[index];
+    }
+
+    /** The topology the table was generated for. */
+    const CoreTopology &topology() const { return topology_; }
+
+    int numClusters() const { return topology_.numClusters(); }
+
+    /** Two-cluster shape accessors (big/little call sites). */
+    int nBig() const;
+    int nLittle() const;
+
+    /** Number of entries (prod (count_k + 1); 25 for 4B4L). */
     int size() const { return static_cast<int>(entries_.size()); }
 
     /**
-     * Overwrite one entry (adaptive controllers refine the table from
-     * observed performance/energy counters; Section III-A future work).
+     * Overwrite one two-cluster entry (adaptive controllers refine the
+     * table from observed performance/energy counters; Section III-A
+     * future work).
      */
     void setEntry(int n_big_active, int n_little_active,
                   const DvfsTableEntry &entry);
 
+    /** Overwrite one entry by census index. */
+    void setEntryAt(int index, const DvfsTableEntry &entry);
+
   private:
-    int n_big_;
-    int n_little_;
+    void generate(const FirstOrderModel &model);
+    void generateLegacyBigLittle(const FirstOrderModel &model);
+
+    CoreTopology topology_;
     std::vector<DvfsTableEntry> entries_;
 };
 

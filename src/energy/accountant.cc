@@ -5,10 +5,31 @@
 namespace aaws {
 
 EnergyAccountant::EnergyAccountant(const FirstOrderModel &model,
-                                   std::vector<CoreType> core_types)
-    : model_(model), core_types_(std::move(core_types))
+                                   const CoreTopology &topology)
+    : model_(model)
 {
-    size_t n = core_types_.size();
+    core_params_.reserve(topology.numCores());
+    for (const CoreCluster &cluster : topology.clusters())
+        for (int i = 0; i < cluster.count; ++i)
+            core_params_.push_back(cluster.params);
+    size_t n = core_params_.size();
+    AAWS_ASSERT(n > 0, "no cores to account for");
+    energy_.resize(n);
+    state_.assign(n, PowerState::off);
+    voltage_.assign(n, model_.params().v_nom);
+    last_time_.assign(n, 0.0);
+}
+
+EnergyAccountant::EnergyAccountant(const FirstOrderModel &model,
+                                   std::vector<CoreType> core_types)
+    : model_(model)
+{
+    ClusterParams big = clusterParamsFor('b', model.params());
+    ClusterParams little = clusterParamsFor('l', model.params());
+    core_params_.reserve(core_types.size());
+    for (CoreType type : core_types)
+        core_params_.push_back(type == CoreType::big ? big : little);
+    size_t n = core_params_.size();
     AAWS_ASSERT(n > 0, "no cores to account for");
     energy_.resize(n);
     state_.assign(n, PowerState::off);
@@ -24,14 +45,15 @@ EnergyAccountant::charge(int core, double until)
                 -dt);
     if (dt <= 0.0)
         return;
-    CoreType type = core_types_[core];
+    const ClusterParams &params = core_params_[core];
     switch (state_[core]) {
       case PowerState::active:
-        energy_[core].active += model_.activePower(type, voltage_[core]) * dt;
+        energy_[core].active +=
+            model_.activePower(params, voltage_[core]) * dt;
         break;
       case PowerState::waiting:
         energy_[core].waiting +=
-            model_.waitingPower(type, voltage_[core]) * dt;
+            model_.waitingPower(params, voltage_[core]) * dt;
         break;
       case PowerState::off:
         break;

@@ -43,7 +43,20 @@ struct CoreEnergy
 class EnergyAccountant
 {
   public:
-    /** @param model Borrowed; must outlive the accountant. */
+    /**
+     * Account for the topology's cores (fastest cluster first, the
+     * engine core numbering).  @param model Borrowed; must outlive the
+     * accountant.
+     */
+    EnergyAccountant(const FirstOrderModel &model,
+                     const CoreTopology &topology);
+
+    /**
+     * Legacy two-class form: cores listed by CoreType.  Charges through
+     * the same cluster-parameter path as the topology constructor
+     * (big = cluster params of kind 'b', little of kind 'l'), which is
+     * bit-identical to the historical CoreType overloads.
+     */
     EnergyAccountant(const FirstOrderModel &model,
                      std::vector<CoreType> core_types);
 
@@ -108,7 +121,8 @@ class EnergyAccountant
     void charge(int core, double until);
 
     const FirstOrderModel &model_;
-    std::vector<CoreType> core_types_;
+    /** Class parameters of the cluster each core belongs to. */
+    std::vector<ClusterParams> core_params_;
     std::vector<CoreEnergy> energy_;
     std::vector<PowerState> state_;
     std::vector<double> voltage_;

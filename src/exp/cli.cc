@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "model/topology.h"
 
 namespace aaws {
 namespace exp {
@@ -31,6 +32,8 @@ printUsage(const char *prog)
         "(env AAWS_KERNEL_FILTER)\n"
         "  --backend=B     restrict native runs to one backend: "
         "all|deque|chan (env AAWS_BACKEND)\n"
+        "  --topology=T    restrict topology sweeps to one preset, "
+        "e.g. 1b7l or 2b2m4l:pc (env AAWS_TOPOLOGY)\n"
         "  --no-cache      disable the result cache "
         "(env AAWS_EXP_NO_CACHE)\n"
         "  --cache-dir=D   cache directory "
@@ -105,6 +108,7 @@ BenchCli::parse(int argc, char **argv)
     // --jobs/AAWS_EXP_JOBS contract, uniformly applied).
     bool filter_given = false;
     bool backend_given = false;
+    bool topology_given = false;
     bool no_cache_given = false;
     bool cache_dir_given = false;
     bool bench_json_given = false;
@@ -136,6 +140,14 @@ BenchCli::parse(int argc, char **argv)
                       "got '%s'",
                       value);
             backend_given = true;
+        } else if (const char *value = flagValue(arg, "--topology")) {
+            CoreTopology parsed;
+            if (!parseTopologyName(value, ModelParams{}, parsed))
+                fatal("--topology: expected a preset name like 4b4l, "
+                      "1b7l, or 2b2m4l[:pc], got '%s'",
+                      value);
+            topology = value;
+            topology_given = true;
         } else if (const char *value = flagValue(arg, "--cache-dir")) {
             engine.cache_dir = value;
             cache_dir_given = true;
@@ -181,6 +193,19 @@ BenchCli::parse(int argc, char **argv)
                      env);
         }
     }
+    if (!topology_given) {
+        if (const char *env = std::getenv("AAWS_TOPOLOGY")) {
+            if (*env) {
+                CoreTopology parsed;
+                if (parseTopologyName(env, ModelParams{}, parsed))
+                    topology = env;
+                else
+                    warn("AAWS_TOPOLOGY='%s' is not a topology preset "
+                         "name; ignoring",
+                         env);
+            }
+        }
+    }
     if (!no_cache_given) {
         const char *env = std::getenv("AAWS_EXP_NO_CACHE");
         if (env && *env)
@@ -191,6 +216,11 @@ BenchCli::parse(int argc, char **argv)
         if (env && *env)
             engine.cache_dir = env;
     }
+
+    // A topology restriction narrows what a perf record measured, so
+    // the record is tagged and bench_compare.py refuses cross-shape
+    // diffs.
+    engine.topology_tag = topology;
 
     if (!results_json.empty())
         results.open(results_json, engine.bench_name.empty()

@@ -8,6 +8,8 @@
  *   --jobs=N        worker threads (env AAWS_EXP_JOBS; 0 = auto)
  *   --filter=SUB    only kernels whose name contains SUB
  *                   (env AAWS_KERNEL_FILTER)
+ *   --topology=T    restrict topology sweeps to one preset, e.g.
+ *                   "1b7l" or "2b2m4l:pc" (env AAWS_TOPOLOGY)
  *   --no-cache      disable the result cache for this run
  *                   (env AAWS_EXP_NO_CACHE)
  *   --cache-dir=D   cache directory (env AAWS_EXP_CACHE_DIR)
@@ -100,6 +102,15 @@ struct BenchCli
      * comparison; sim-only benches ignore it.
      */
     BackendSelection backend = BackendSelection::all;
+
+    /**
+     * Topology preset restriction for topology-sweeping benches
+     * (ext_asymmetry), from --topology= (strict; fatal on names
+     * parseTopologyName rejects) or AAWS_TOPOLOGY (malformed values
+     * warn and are ignored).  Empty = the bench's default preset
+     * sweep.  Benches that simulate a single fixed shape ignore it.
+     */
+    std::string topology;
 
     /**
      * Parse the shared flags; fatal() on unknown arguments (benches

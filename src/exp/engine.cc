@@ -316,7 +316,7 @@ planUnits(const std::vector<RunSpec> &specs,
 /** One-line machine-readable perf record (see EXPERIMENTS.md schema). */
 void
 writeBenchJson(const std::string &path, const std::string &bench_name,
-               const BatchStats &stats,
+               const std::string &topology_tag, const BatchStats &stats,
                const std::vector<std::pair<std::string, double>>
                    &extra_metrics)
 {
@@ -324,6 +324,8 @@ writeBenchJson(const std::string &path, const std::string &bench_name,
                                                  : 1e-9;
     std::string out = "{\"schema\":\"aaws-bench-sim/v1\",\"bench\":";
     out += json::encodeString(bench_name);
+    if (!topology_tag.empty())
+        out += ",\"topology\":" + json::encodeString(topology_tag);
     out += strfmt(",\"runs\":%llu,\"hits\":%llu,\"misses\":%llu,"
                   "\"jobs\":%d",
                   static_cast<unsigned long long>(stats.hits +
@@ -558,7 +560,8 @@ runBatch(const std::vector<RunSpec> &specs, const EngineOptions &options,
         writeBenchJson(options.bench_json,
                        options.bench_name.empty() ? "batch"
                                                   : options.bench_name,
-                       stats, options.extra_metrics);
+                       options.topology_tag, stats,
+                       options.extra_metrics);
     if (stats_out)
         *stats_out = stats;
     return results;

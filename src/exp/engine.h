@@ -69,6 +69,14 @@ struct EngineOptions
     /** Bench name recorded in the BENCH_sim.json record. */
     std::string bench_name;
     /**
+     * Topology tag recorded in the bench-JSON record ("" = untagged,
+     * the default full sweep).  BenchCli sets it when a --topology
+     * restriction narrows the run, so tools/bench_compare.py can
+     * refuse to diff perf records measured on different machine
+     * shapes.
+     */
+    std::string topology_tag;
+    /**
      * Extra (name, value) metrics appended verbatim to the bench-JSON
      * record — bench-specific numbers measured outside the engine batch
      * (e.g. micro_sim's lane_events_per_second) that

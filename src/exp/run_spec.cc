@@ -26,6 +26,8 @@ canonicalSpec(const RunSpec &spec)
         out += strfmt(";n_big=%d", *o.n_big);
     if (o.n_little)
         out += strfmt(";n_little=%d", *o.n_little);
+    if (o.topology)
+        out += ";topology=" + *o.topology;
     if (o.steal_attempt_cycles)
         out += strfmt(";steal_attempt_cycles=%llu",
                       static_cast<unsigned long long>(
@@ -61,6 +63,9 @@ applyOverrides(MachineConfig &config, const SpecOverrides &overrides)
         config.n_big = *overrides.n_big;
     if (overrides.n_little)
         config.n_little = *overrides.n_little;
+    if (overrides.topology)
+        config.topology = makeTopology(*overrides.topology,
+                                       config.app_params);
     if (overrides.steal_attempt_cycles)
         config.costs.steal_attempt_cycles = *overrides.steal_attempt_cycles;
     if (overrides.mug_interrupt_cycles)

@@ -39,8 +39,16 @@ namespace exp {
  * the bump retires every record produced by the pre-batching engine so
  * a batched run can never be served a result the new execution paths
  * were never checked against.
+ *
+ * v5: the big/little dichotomy generalized into an N-cluster
+ * CoreTopology threaded through every layer (machine, census, DVFS
+ * table, energy accounting), and SpecOverrides grew the `topology`
+ * dimension.  The legacy two-cluster path is proven bit-identical
+ * (tests/test_topology.cc, the Table III golden), but the bump retires
+ * pre-topology records so nothing produced by the old code can be
+ * served to the new engine unchecked.
  */
-inline constexpr uint32_t kCacheSchemaVersion = 4;
+inline constexpr uint32_t kCacheSchemaVersion = 5;
 
 /** Default workload-synthesis seed (same as kernels/registry.h). */
 inline constexpr uint64_t kDefaultSeed = 0xA57'5EEDull;
@@ -56,6 +64,13 @@ struct SpecOverrides
     /** Machine shape override (ext_scaling's nBmL sweep). */
     std::optional<int> n_big;
     std::optional<int> n_little;
+    /**
+     * Topology preset name override (ext_asymmetry's cluster sweep,
+     * the --topology= CLI flag).  Parsed against the config's
+     * app_params by parseTopologyName; takes precedence over the
+     * legacy n_big/n_little pair when both are set.
+     */
+    std::optional<std::string> topology;
     /** Steal-attempt cost in cycles (sens_steal_cost). */
     std::optional<uint64_t> steal_attempt_cycles;
     /** Mug interrupt latency in cycles (sens_mug_latency). */
@@ -66,7 +81,7 @@ struct SpecOverrides
     bool
     any() const
     {
-        return n_big || n_little || steal_attempt_cycles ||
+        return n_big || n_little || topology || steal_attempt_cycles ||
                mug_interrupt_cycles || regulator_ns_per_step;
     }
 };

@@ -79,4 +79,47 @@ FirstOrderModel::marginalCost(CoreType type, double v) const
     return dp_dv / dips_dv;
 }
 
+double
+FirstOrderModel::ips(const ClusterParams &cp, double v) const
+{
+    return cp.ipc * freq(v);
+}
+
+double
+FirstOrderModel::leakCurrent(const ClusterParams &cp) const
+{
+    return cp.leak_ratio * leak_big_;
+}
+
+double
+FirstOrderModel::activePower(const ClusterParams &cp, double v) const
+{
+    double dyn = cp.energy_coeff * cp.ipc * freq(v) * v * v;
+    return dyn + v * leakCurrent(cp);
+}
+
+double
+FirstOrderModel::waitingPower(const ClusterParams &cp, double v) const
+{
+    double dyn = params_.waiting_activity * cp.energy_coeff * cp.ipc *
+                 freq(v) * v * v;
+    return dyn + v * leakCurrent(cp);
+}
+
+double
+FirstOrderModel::nominalPower(const ClusterParams &cp) const
+{
+    return activePower(cp, params_.v_nom);
+}
+
+double
+FirstOrderModel::marginalCost(const ClusterParams &cp, double v) const
+{
+    double dp_dv = cp.energy_coeff * cp.ipc *
+                   (3.0 * params_.k1 * v * v + 2.0 * params_.k2 * v) +
+                   leakCurrent(cp);
+    double dips_dv = cp.ipc * params_.k1;
+    return dp_dv / dips_dv;
+}
+
 } // namespace aaws

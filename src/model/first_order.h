@@ -14,6 +14,7 @@
 #define AAWS_MODEL_FIRST_ORDER_H
 
 #include "model/params.h"
+#include "model/topology.h"
 
 namespace aaws {
 
@@ -69,6 +70,32 @@ class FirstOrderModel
      * Computed analytically: dP/dV / dIPS/dV with dIPS/dV = IPC * k1.
      */
     double marginalCost(CoreType type, double v) const;
+
+    // --- N-cluster generalization ------------------------------------
+    //
+    // The same model evaluated against one cluster's class parameters
+    // (model/topology.h).  For the 'b' and 'l' preset parameters these
+    // overloads compute the exact expressions of their CoreType
+    // counterparts — same operands, same operation order — so the legacy
+    // two-cluster path is bit-identical through them.
+
+    /** Throughput of an active core of the cluster class (Eq. 2). */
+    double ips(const ClusterParams &cp, double v) const;
+
+    /** Leakage current: leak_ratio times the calibrated big leakage. */
+    double leakCurrent(const ClusterParams &cp) const;
+
+    /** Power of an active core of the cluster class (Eq. 4). */
+    double activePower(const ClusterParams &cp, double v) const;
+
+    /** Power of a waiting core of the cluster class. */
+    double waitingPower(const ClusterParams &cp, double v) const;
+
+    /** Active power at nominal voltage. */
+    double nominalPower(const ClusterParams &cp) const;
+
+    /** Marginal cost dP/dIPS at voltage v (Eq. 7 generalized). */
+    double marginalCost(const ClusterParams &cp, double v) const;
 
     /** Lowest voltage at which the V/f model yields positive frequency. */
     double

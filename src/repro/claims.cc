@@ -460,6 +460,36 @@ buildClaims()
               agg("sens_mug_latency", "batch_check", "json_mismatches"),
               0.0));
 
+    // --- N-cluster topology extension (ext_asymmetry) ---------------
+    // The CoreTopology generalization promises two things: the legacy
+    // big/little path is unchanged (bit-identity, not approximation),
+    // and the paper's techniques keep paying off on machines the paper
+    // never modeled — here a three-cluster 2B2M4L alongside 4B4L and
+    // 1B7L.  The summary metrics are minima over every (kernel,
+    // topology) cell, so one regressing cell fails the gate.
+    const char *ea = "ext_asymmetry";
+    add(exact("ext_asym/topo_4b4l_bit_identical", "harness invariant",
+              "topology-override 4b4l runs serialize byte-identically "
+              "to the legacy 4B4L config path for all five variants",
+              agg(ea, "topo_check", "json_mismatches"), 0.0));
+    add(atLeast("ext_asym/psm_speedup_all_topologies",
+                "topology extension",
+                "base+psm speeds up every kernel on every topology "
+                "preset (worst cell; measured 1.11x on 1b7l radix-2)",
+                agg(ea, "summary", "min_psm_speedup"), 1.05));
+    add(atLeast("ext_asym/psm_efficiency_all_topologies",
+                "topology extension",
+                "base+psm improves perf-per-joule in every (kernel, "
+                "topology) cell (worst cell; measured 1.06e)",
+                agg(ea, "summary", "min_psm_efficiency_gain"), 1.02));
+    add(atMost("ext_asym/criticality_victim_no_regression",
+               "topology extension",
+               "criticality-aware victim selection stays within noise "
+               "of the occupancy policy (median time ratio across all "
+               "kernels and topologies)",
+               agg(ea, "criticality_summary", "median_ratio"), 1.02,
+               0.03));
+
     return claims;
 }
 

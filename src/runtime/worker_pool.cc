@@ -15,16 +15,27 @@ thread_local int tls_worker = -1;
 } // namespace
 
 WorkerPool::WorkerPool(int threads, SchedulerHooks *hooks)
-    : WorkerPool(threads, PoolOptions{{}, 0, hooks})
+    : WorkerPool(threads, PoolOptions{{}, 0, CoreTopology(), hooks})
 {
 }
 
 WorkerPool::WorkerPool(int threads, const PoolOptions &options)
     : hooks_(options.hooks), policy_config_(options.policy),
-      policy_(sched::makePolicyStack(options.policy)),
-      n_big_(std::clamp(options.n_big, 0, threads))
+      policy_(sched::makePolicyStack(options.policy))
 {
     AAWS_ASSERT(threads >= 1, "pool needs at least one worker");
+    if (options.topology.empty()) {
+        // Legacy split: the first n_big workers form the fast cluster
+        // (parameters are irrelevant to a native pool).
+        int n_big = std::clamp(options.n_big, 0, threads);
+        topo_ = CoreTopology::bigLittle(n_big, threads - n_big,
+                                        ModelParams{});
+    } else {
+        topo_ = options.topology;
+        AAWS_ASSERT(topo_.numCores() == threads,
+                    "pool topology has %d cores for %d workers",
+                    topo_.numCores(), threads);
+    }
     deques_.reserve(threads);
     hints_ = std::make_unique<HintState[]>(threads);
     victims_.reserve(threads);
@@ -37,7 +48,11 @@ WorkerPool::WorkerPool(int threads, const PoolOptions &options)
             options.policy.victim_seed + static_cast<uint64_t>(i)));
     }
     // All hint bits power up active, as the paper's cores do.
-    big_active_.store(n_big_, std::memory_order_relaxed);
+    cluster_active_ =
+        std::make_unique<std::atomic<int>[]>(topo_.numClusters());
+    for (int k = 0; k < topo_.numClusters(); ++k)
+        cluster_active_[k].store(topo_.cluster(k).count,
+                                 std::memory_order_relaxed);
     // The constructing thread is the master (worker 0).
     tls_pool = this;
     tls_worker = 0;
@@ -167,14 +182,15 @@ RtTask *
 WorkerPool::tryMug(int self)
 {
     // Work-mugging, native analog: without user-level interrupts a
-    // library runtime cannot preempt a running task, so a starved big
-    // worker instead raids the *queued* work of the busiest little
-    // worker the mug policy singles out — bypassing normal victim
-    // selection, which may have just failed on a stale estimate.
-    if (!policy_.mug.wantsMug(coreType(self), hints_[self].failed))
+    // library runtime cannot preempt a running task, so a starved
+    // fast-cluster worker instead raids the *queued* work of the
+    // busiest slower worker the mug policy singles out — bypassing
+    // normal victim selection, which may have just failed on a stale
+    // estimate.
+    const sched::SchedView &view = *this;
+    if (!policy_.mug.wantsMug(view, self, hints_[self].failed))
         return nullptr;
-    int muggee =
-        policy_.mug.pickMuggee(static_cast<const sched::SchedView &>(*this));
+    int muggee = policy_.mug.pickMuggee(view, topo_.clusterOf(self));
     if (muggee < 0)
         return nullptr;
     mug_attempts_.fetch_add(1, std::memory_order_relaxed);
@@ -202,8 +218,8 @@ WorkerPool::noteFound(int self)
     hint.failed = 0;
     if (hint.waiting.load(std::memory_order_relaxed)) {
         hint.waiting.store(false, std::memory_order_relaxed);
-        if (coreType(self) == CoreType::big)
-            big_active_.fetch_add(1, std::memory_order_relaxed);
+        cluster_active_[topo_.clusterOf(self)].fetch_add(
+            1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerActive(self);
     }
@@ -221,8 +237,8 @@ WorkerPool::noteFailed(int self)
     hint.failed = std::min(hint.failed + 1, 1 << 20);
     if (hint.failed == 2 && !hint.waiting.load(std::memory_order_relaxed)) {
         hint.waiting.store(true, std::memory_order_relaxed);
-        if (coreType(self) == CoreType::big)
-            big_active_.fetch_sub(1, std::memory_order_relaxed);
+        cluster_active_[topo_.clusterOf(self)].fetch_sub(
+            1, std::memory_order_relaxed);
         if (hooks_)
             hooks_->onWorkerWaiting(self);
     }

@@ -11,12 +11,13 @@
  *
  * Scheduling policy comes from the same `src/sched/` components the
  * simulator runs: `PoolOptions` carries a `sched::PolicyConfig` plus a
- * core-type split (the first `n_big` workers model big cores), and the
- * pool assembles victim selection, the work-biasing steal gate, and the
- * mug trigger from it.  Without hardware preemption, a native "mug" is
- * the policy-directed migration of *queued* work: a starved big worker
- * targets the most loaded busy little worker's deque directly instead
- * of whatever victim selection would pick.
+ * worker-cluster split (a CoreTopology, or the legacy `n_big` prefix
+ * count), and the pool assembles victim selection, the work-biasing
+ * steal gate, and the mug trigger from it.  Without hardware
+ * preemption, a native "mug" is the policy-directed migration of
+ * *queued* work: a starved fast-cluster worker targets the most loaded
+ * busy slower worker's deque directly instead of whatever victim
+ * selection would pick.
  */
 
 #ifndef AAWS_RUNTIME_WORKER_POOL_H
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "model/topology.h"
 #include "runtime/backend.h"
 #include "runtime/chase_lev_deque.h"
 #include "runtime/hooks.h"
@@ -56,8 +58,17 @@ struct PoolOptions
      * Workers 0..n_big-1 are treated as big cores by the biasing and
      * mugging policies (clamped to the worker count).  Zero disables
      * the asymmetry-aware policies without touching their switches.
+     * Ignored when `topology` is set.
      */
     int n_big = 0;
+    /**
+     * Full worker-cluster assignment: worker w belongs to
+     * topology.clusterOf(w).  Must cover exactly the pool's worker
+     * count when non-empty; empty falls back to the two-cluster
+     * `n_big` split.  Only the cluster structure matters to a native
+     * pool — the model parameters inside are never read.
+     */
+    CoreTopology topology;
     /** Optional activity observer (borrowed; must outlive the pool). */
     SchedulerHooks *hooks = nullptr;
 };
@@ -164,11 +175,6 @@ class WorkerPool : public RuntimeBackend, private sched::SchedView
         return deques_[worker]->sizeEstimate();
     }
 
-    CoreType coreType(int core) const override
-    {
-        return core < n_big_ ? CoreType::big : CoreType::little;
-    }
-
     sched::CoreActivity activity(int core) const override
     {
         return hints_[core].waiting.load(std::memory_order_relaxed)
@@ -176,11 +182,18 @@ class WorkerPool : public RuntimeBackend, private sched::SchedView
                    : sched::CoreActivity::running;
     }
 
-    int numBig() const override { return n_big_; }
+    int numClusters() const override { return topo_.numClusters(); }
 
-    int bigActive() const override
+    int clusterOf(int core) const override { return topo_.clusterOf(core); }
+
+    int clusterSize(int cluster) const override
     {
-        return big_active_.load(std::memory_order_relaxed);
+        return topo_.cluster(cluster).count;
+    }
+
+    int clusterActive(int cluster) const override
+    {
+        return cluster_active_[cluster].load(std::memory_order_relaxed);
     }
 
     /**
@@ -204,9 +217,13 @@ class WorkerPool : public RuntimeBackend, private sched::SchedView
     std::vector<std::unique_ptr<sched::VictimSelector>> victims_;
     /** Stateless fallback for foreign threads (no own deque). */
     sched::OccupancyVictimSelector foreign_victim_;
-    int n_big_ = 0;
-    /** Hint-bit census of the big workers (the biasing gate's input). */
-    std::atomic<int> big_active_{0};
+    /** Worker-cluster assignment (options.topology or the n_big split). */
+    CoreTopology topo_;
+    /**
+     * Hint-bit census per cluster (the biasing gate's input).  Array,
+     * not vector: atomics are not movable.
+     */
+    std::unique_ptr<std::atomic<int>[]> cluster_active_;
     std::vector<std::thread> threads_;
     std::atomic<bool> stop_{false};
     std::atomic<uint64_t> steals_{0};

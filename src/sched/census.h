@@ -1,15 +1,21 @@
 /**
  * @file
- * Activity census: the (active-big, active-little) counts every AAWS
+ * Activity census: the per-cluster active-core counts every AAWS
  * policy keys on.
  *
  * This is the software mirror of the paper's per-core activity bits
- * (Section III-A): the DVFS controller indexes its lookup table by
- * these counts, work-biasing asks whether every big core is busy, and
- * the simulator's occupancy accounting banks time per census cell.  The
- * type is deliberately a plain incremental counter pair so engines can
- * maintain it in O(1) on each transition; `recount()` recomputes from a
- * bit vector for callers that only have the raw bits.
+ * (Section III-A), generalized from the original (active-big,
+ * active-little) pair to one count per CoreTopology cluster: the DVFS
+ * controller indexes its lookup table by the census tuple, work-biasing
+ * asks whether every faster cluster is busy, and the simulator's
+ * occupancy accounting banks time per census cell.  The counts are
+ * deliberately plain incremental counters so engines can maintain them
+ * in O(1) on each transition; `recount()` recomputes from a bit vector
+ * for callers that only have the raw bits.
+ *
+ * The two-cluster special case keeps its historical accessors
+ * (bigActive/littleActive/...) so the big/little machine reads exactly
+ * as before; they assert the census really has two clusters.
  */
 
 #ifndef AAWS_SCHED_CENSUS_H
@@ -18,72 +24,135 @@
 #include <cstddef>
 #include <vector>
 
-#include "model/params.h"
+#include "common/logging.h"
+#include "model/topology.h"
 
 namespace aaws {
 namespace sched {
 
-/** Incremental count of active big/little cores. */
+/** Incremental count of active cores, one count per cluster. */
 class ActivityCensus
 {
   public:
     ActivityCensus() = default;
 
     /**
-     * @param n_big Total big cores.
-     * @param n_little Total little cores.
+     * Census over the topology's clusters, fastest first.
+     *
      * @param all_active Start with every core counted active (the
      *        paper's cores boot with their activity bits raised).
      */
+    explicit ActivityCensus(const CoreTopology &topology,
+                            bool all_active = false)
+    {
+        sizes_.reserve(topology.numClusters());
+        for (const CoreCluster &cluster : topology.clusters())
+            sizes_.push_back(cluster.count);
+        counts_.assign(sizes_.size(), 0);
+        if (all_active) {
+            counts_ = sizes_;
+            active_ = topology.numCores();
+        }
+    }
+
+    /** Legacy two-cluster census: cluster 0 = big, cluster 1 = little. */
     ActivityCensus(int n_big, int n_little, bool all_active = false)
-        : n_big_(n_big), n_little_(n_little),
-          big_active_(all_active ? n_big : 0),
-          little_active_(all_active ? n_little : 0)
+        : sizes_{n_big, n_little},
+          counts_{all_active ? n_big : 0, all_active ? n_little : 0},
+          active_(all_active ? n_big + n_little : 0)
     {
     }
 
     /** Record one core's activity transition. */
     void
-    note(CoreType type, bool becomes_active)
+    note(int cluster, bool becomes_active)
     {
         int delta = becomes_active ? 1 : -1;
-        (type == CoreType::big ? big_active_ : little_active_) += delta;
+        counts_[cluster] += delta;
+        active_ += delta;
     }
 
     /** Recompute the counts from per-core activity bits. */
     void
     recount(const std::vector<bool> &active,
-            const std::vector<CoreType> &types)
+            const std::vector<int> &cluster_of)
     {
-        big_active_ = 0;
-        little_active_ = 0;
+        counts_.assign(sizes_.size(), 0);
+        active_ = 0;
         for (std::size_t i = 0; i < active.size(); ++i) {
             if (active[i])
-                note(types[i], true);
+                note(cluster_of[i], true);
         }
     }
 
-    int bigActive() const { return big_active_; }
-    int littleActive() const { return little_active_; }
-    int active() const { return big_active_ + little_active_; }
-    int nBig() const { return n_big_; }
-    int nLittle() const { return n_little_; }
-
-    /** Work-biasing predicate: may little cores steal? */
-    bool allBigActive() const { return big_active_ == n_big_; }
+    int numClusters() const { return static_cast<int>(sizes_.size()); }
+    int clusterActive(int cluster) const { return counts_[cluster]; }
+    int clusterSize(int cluster) const { return sizes_[cluster]; }
+    /** The census tuple itself (CoreTopology::censusIndex input). */
+    const std::vector<int> &counts() const { return counts_; }
+    int active() const { return active_; }
 
     /** Work-pacing predicate: is the whole machine busy? */
     bool
     allActive() const
     {
-        return big_active_ == n_big_ && little_active_ == n_little_;
+        for (std::size_t k = 0; k < sizes_.size(); ++k)
+            if (counts_[k] != sizes_[k])
+                return false;
+        return true;
     }
 
+    /** Are clusters [0, cluster) — everything faster — fully active? */
+    bool
+    allFasterActive(int cluster) const
+    {
+        for (int k = 0; k < cluster; ++k)
+            if (counts_[k] != sizes_[k])
+                return false;
+        return true;
+    }
+
+    // --- Legacy two-cluster accessors --------------------------------
+
+    int
+    bigActive() const
+    {
+        AAWS_ASSERT(sizes_.size() == 2, "census has %zu clusters",
+                    sizes_.size());
+        return counts_[0];
+    }
+
+    int
+    littleActive() const
+    {
+        AAWS_ASSERT(sizes_.size() == 2, "census has %zu clusters",
+                    sizes_.size());
+        return counts_[1];
+    }
+
+    int
+    nBig() const
+    {
+        AAWS_ASSERT(sizes_.size() == 2, "census has %zu clusters",
+                    sizes_.size());
+        return sizes_[0];
+    }
+
+    int
+    nLittle() const
+    {
+        AAWS_ASSERT(sizes_.size() == 2, "census has %zu clusters",
+                    sizes_.size());
+        return sizes_[1];
+    }
+
+    /** Work-biasing predicate: may little cores steal? */
+    bool allBigActive() const { return allFasterActive(numClusters() - 1); }
+
   private:
-    int n_big_ = 0;
-    int n_little_ = 0;
-    int big_active_ = 0;
-    int little_active_ = 0;
+    std::vector<int> sizes_;
+    std::vector<int> counts_;
+    int active_ = 0;
 };
 
 } // namespace sched

@@ -2,11 +2,14 @@
  * @file
  * Work-mugging trigger policy (Section III-B): when to mug and whom.
  *
- * Mugging preemptively migrates work from a little core to a starved
- * big core.  The *protocol* (interrupt delivery, state swap,
+ * Mugging preemptively migrates work from a slower core to a starved
+ * faster core.  The *protocol* (interrupt delivery, state swap,
  * rendezvous) belongs to the engine; this component owns the two
  * policy questions: does this thief's situation justify a mug, and
- * which core should be mugged.
+ * which core should be mugged.  Cluster indices come from the engine's
+ * CoreTopology (fastest first), so on the big/little machine the rules
+ * read exactly as the paper states them: a starved big core mugs the
+ * most loaded running little.
  */
 
 #ifndef AAWS_SCHED_MUG_H
@@ -26,36 +29,40 @@ class MugTrigger
     bool enabled() const { return enabled_; }
 
     /**
-     * A big core that has failed to steal twice in a row is starved
-     * while the machine may still hold work on slower cores: mug.
+     * A core with slower clusters below it that has failed to steal
+     * twice in a row is starved while the machine may still hold work
+     * on slower cores: mug.  Cores of the slowest cluster have nobody
+     * to mug.
      */
+    template <SchedViewLike View>
     bool
-    wantsMug(CoreType thief_type, int failed_steals) const
+    wantsMug(const View &view, int thief_core, int failed_steals) const
     {
-        return enabled_ && thief_type == CoreType::big &&
-               failed_steals >= 2;
+        return enabled_ && failed_steals >= 2 &&
+               view.clusterOf(thief_core) < view.numClusters() - 1;
     }
 
     /**
-     * Steal-loop muggee: the most loaded *running* little core not
-     * already engaged in a mug handshake (ties break to the lowest
-     * core id).  A running little with an empty deque is still a valid
-     * muggee — the mug migrates its executing context, not just queued
-     * tasks.  Returns -1 when no little core qualifies.
+     * Steal-loop muggee: the most loaded *running* core of any cluster
+     * slower than the thief's, not already engaged in a mug handshake
+     * (ties break to the lowest core id).  A running slow core with an
+     * empty deque is still a valid muggee — the mug migrates its
+     * executing context, not just queued tasks.  Returns -1 when no
+     * slower core qualifies.
      *
      * Templated on the view (like `StealGate::allowSteal`) so final
      * engine classes get the probe loop devirtualized.
      */
     template <SchedViewLike View>
     int
-    pickMuggee(const View &view) const
+    pickMuggee(const View &view, int thief_cluster) const
     {
         int best = -1;
         int64_t best_occ = 0;
         bool best_found = false;
         const int n = view.numCores();
         for (int c = 0; c < n; ++c) {
-            if (view.coreType(c) != CoreType::little ||
+            if (view.clusterOf(c) <= thief_cluster ||
                 view.activity(c) != CoreActivity::running ||
                 view.mugEngaged(c)) {
                 continue;
@@ -72,17 +79,19 @@ class MugTrigger
 
     /**
      * Phase-transition muggee: logical thread 0 finished a parallel
-     * region on a little core and must continue on a big one (Section
-     * III-B), so it mugs any big core idling in the steal loop.
-     * Returns the first un-engaged stealing big core, or -1.
+     * region on a slow core and must continue on the fastest available
+     * one (Section III-B), so it mugs a core of a faster cluster idling
+     * in the steal loop.  Cores scan in id order — fastest cluster
+     * first — so the first un-engaged stealing faster core wins;
+     * returns -1 when there is none.
      */
     template <SchedViewLike View>
     int
-    pickPhaseMuggee(const View &view) const
+    pickPhaseMuggee(const View &view, int self_cluster) const
     {
         const int n = view.numCores();
         for (int c = 0; c < n; ++c) {
-            if (view.coreType(c) == CoreType::big &&
+            if (view.clusterOf(c) < self_cluster &&
                 view.activity(c) == CoreActivity::stealing &&
                 !view.mugEngaged(c)) {
                 return c;

@@ -2,11 +2,13 @@
  * @file
  * Work-biasing steal gate (Section III-C).
  *
- * Under work-biasing, little cores may only steal when every big core
- * is already busy: otherwise a little core racing a big core to the
- * same task would strand the work on the slower core.  Big cores are
- * never gated.  The decision reads the engine's activity census
- * through `SchedView`.
+ * Under work-biasing, a core may only steal when every *faster* cluster
+ * is already busy: otherwise a slow core racing a faster one to the
+ * same task would strand the work on the slower core.  Cores of the
+ * fastest cluster are never gated.  On the two-cluster big/little
+ * machine this is exactly the paper's rule — little cores steal only
+ * when all bigs are active.  The decision reads the engine's activity
+ * census through `SchedView`.
  */
 
 #ifndef AAWS_SCHED_STEAL_GATE_H
@@ -40,11 +42,13 @@ class StealGate
     {
         if (!work_biasing_)
             return true;
-        if (view.coreType(thief_core) == CoreType::big)
-            return true;
-        // A big core not counted active is stealing or done, so there
-        // is slack work a big core should pick up first.
-        return view.bigActive() == view.numBig();
+        // A faster core not counted active is stealing or done, so
+        // there is slack work a faster core should pick up first.
+        const int mine = view.clusterOf(thief_core);
+        for (int k = 0; k < mine; ++k)
+            if (view.clusterActive(k) != view.clusterSize(k))
+                return false;
+        return true;
     }
 
   private:

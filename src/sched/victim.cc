@@ -8,6 +8,8 @@ makeVictimSelector(VictimPolicy policy, uint64_t seed)
 {
     if (policy == VictimPolicy::random)
         return std::make_unique<RandomVictimSelector>(seed);
+    if (policy == VictimPolicy::criticality)
+        return std::make_unique<CriticalityVictimSelector>();
     return std::make_unique<OccupancyVictimSelector>();
 }
 

@@ -31,8 +31,9 @@ namespace sched {
 /** Which victim-selection policy to assemble. */
 enum class VictimPolicy
 {
-    occupancy, ///< Richest deque wins (the paper's baseline).
-    random,    ///< Uniform among non-empty deques (Cilk ablation).
+    occupancy,   ///< Richest deque wins (the paper's baseline).
+    random,      ///< Uniform among non-empty deques (Cilk ablation).
+    criticality, ///< Fastest-cluster victims first (Costero-style).
 };
 
 /**
@@ -81,6 +82,50 @@ class OccupancyVictimSelector final : public VictimSelector
             if (occ > best_occ) {
                 best_occ = occ;
                 best = w;
+            }
+        }
+        return best;
+    }
+};
+
+/**
+ * Criticality-aware selection in the style of the Costero et al.
+ * big.LITTLE schedulers: work queued behind a fast core drains
+ * soonest, so steal it first — it is the most likely to sit on the
+ * critical path and the least likely to strand on a slow core.  Among
+ * non-empty deques the victim with the fastest cluster wins; within a
+ * cluster the richest deque; ties break to the lowest worker id.  On a
+ * single-cluster machine this degenerates to occupancy selection.
+ */
+class CriticalityVictimSelector final : public VictimSelector
+{
+  public:
+    int pick(const SchedView &view, int thief) override
+    {
+        return pickIn(view, thief);
+    }
+
+    /** Statically-dispatched pick for hot engine loops. */
+    template <SchedViewLike View>
+    int
+    pickIn(const View &view, int thief) const
+    {
+        int best = -1;
+        int best_cluster = 0;
+        int64_t best_occ = 0;
+        const int n = view.numWorkers();
+        for (int w = 0; w < n; ++w) {
+            if (w == thief)
+                continue;
+            int64_t occ = view.dequeSize(w);
+            if (occ <= 0)
+                continue;
+            int cluster = view.workerCluster(w);
+            if (best < 0 || cluster < best_cluster ||
+                (cluster == best_cluster && occ > best_occ)) {
+                best = w;
+                best_cluster = cluster;
+                best_occ = occ;
             }
         }
         return best;

@@ -11,6 +11,13 @@
  * interface, and every policy component in `src/sched/` is written
  * against it alone.
  *
+ * Core classes are *cluster indices* into the engine's CoreTopology
+ * (model/topology.h), ordered fastest to slowest: cluster 0 is the
+ * fastest ("big") class, numClusters()-1 the slowest.  The legacy
+ * big/little machine is simply the two-cluster special case; policies
+ * ask "is there a faster cluster with slack?" instead of branching on
+ * CoreType.
+ *
  * The view distinguishes *workers* (logical deque owners) from *cores*
  * (physical execution contexts) because work-mugging swaps the two in
  * the simulator; engines without mugging (the native pool) identify
@@ -28,8 +35,6 @@
 
 #include <concepts>
 #include <cstdint>
-
-#include "model/params.h"
 
 namespace aaws {
 namespace sched {
@@ -63,23 +68,41 @@ class SchedView
     /** Occupancy of a worker's deque (estimates may be stale/negative). */
     virtual int64_t dequeSize(int worker) const = 0;
 
-    /** Static type of a physical core. */
-    virtual CoreType coreType(int core) const = 0;
-
     /** Current activity of a physical core. */
     virtual CoreActivity activity(int core) const = 0;
 
-    /** Number of big cores in the machine. */
-    virtual int numBig() const = 0;
+    /** Number of core clusters, fastest first. */
+    virtual int numClusters() const = 0;
 
-    /** Big cores currently counted active by the engine's census. */
-    virtual int bigActive() const = 0;
+    /** Cluster index of a physical core. */
+    virtual int clusterOf(int core) const = 0;
+
+    /** Total cores in a cluster. */
+    virtual int clusterSize(int cluster) const = 0;
+
+    /**
+     * Cores of the cluster currently counted active by the engine's
+     * census (activity hints, not exact state).
+     */
+    virtual int clusterActive(int cluster) const = 0;
 
     /** Number of physical cores; defaults to one core per worker. */
     virtual int
     numCores() const
     {
         return numWorkers();
+    }
+
+    /**
+     * Cluster of the core a *worker* currently runs on; identity
+     * mapping unless the engine migrates workers across cores
+     * (mugging).  Victim policies that weigh a victim's speed use
+     * this, since deques belong to workers, not cores.
+     */
+    virtual int
+    workerCluster(int worker) const
+    {
+        return clusterOf(worker);
     }
 
     /**
@@ -115,11 +138,13 @@ template <typename V>
 concept SchedViewLike = requires(const V &v, int i) {
     { v.numWorkers() } -> std::same_as<int>;
     { v.dequeSize(i) } -> std::same_as<int64_t>;
-    { v.coreType(i) } -> std::same_as<CoreType>;
     { v.activity(i) } -> std::same_as<CoreActivity>;
-    { v.numBig() } -> std::same_as<int>;
-    { v.bigActive() } -> std::same_as<int>;
+    { v.numClusters() } -> std::same_as<int>;
+    { v.clusterOf(i) } -> std::same_as<int>;
+    { v.clusterSize(i) } -> std::same_as<int>;
+    { v.clusterActive(i) } -> std::same_as<int>;
     { v.numCores() } -> std::same_as<int>;
+    { v.workerCluster(i) } -> std::same_as<int>;
     { v.coreDequeSize(i) } -> std::same_as<int64_t>;
     { v.mugEngaged(i) } -> std::same_as<bool>;
 };

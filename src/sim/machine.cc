@@ -12,43 +12,35 @@ namespace aaws {
 
 namespace {
 
-std::vector<CoreType>
-coreTypesOf(const MachineConfig &config)
-{
-    std::vector<CoreType> types;
-    for (int i = 0; i < config.n_big; ++i)
-        types.push_back(CoreType::big);
-    for (int i = 0; i < config.n_little; ++i)
-        types.push_back(CoreType::little);
-    return types;
-}
-
 /**
  * Process-wide cache of generated DVFS lookup tables.
  *
  * Table generation runs the marginal-utility optimizer over every
- * (active-big, active-little) entry and is by far the most expensive
- * part of Machine construction; the result depends only on the designer
- * model parameters and the machine shape, so identical configurations
- * (every simulation of a sweep) can share one immutable table.
+ * census cell and is by far the most expensive part of Machine
+ * construction; the result depends only on the designer model
+ * parameters and the machine shape (the topology label embeds every
+ * cluster's parameters and domain), so identical configurations (every
+ * simulation of a sweep) can share one immutable table.
  */
 std::shared_ptr<const DvfsLookupTable>
-sharedDvfsTable(const ModelParams &mp, int n_big, int n_little)
+sharedDvfsTable(const ModelParams &mp, const CoreTopology &table_topo)
 {
-    using TableKey = std::tuple<double, double, double, double, double,
-                                double, double, double, double, double,
-                                double, double, int, int>;
-    TableKey key{mp.k1, mp.k2, mp.v_nom, mp.v_min, mp.v_max, mp.alpha,
-                 mp.beta, mp.ipc_little, mp.alpha_little, mp.lambda,
-                 mp.gamma, mp.waiting_activity, n_big, n_little};
+    using ParamsKey = std::tuple<double, double, double, double, double,
+                                 double, double, double, double, double,
+                                 double, double>;
+    using TableKey = std::pair<ParamsKey, std::string>;
+    TableKey key{{mp.k1, mp.k2, mp.v_nom, mp.v_min, mp.v_max, mp.alpha,
+                  mp.beta, mp.ipc_little, mp.alpha_little, mp.lambda,
+                  mp.gamma, mp.waiting_activity},
+                 table_topo.label()};
     static std::mutex mutex;
     static std::map<TableKey, std::shared_ptr<const DvfsLookupTable>>
         cache;
     std::lock_guard<std::mutex> lock(mutex);
     std::shared_ptr<const DvfsLookupTable> &slot = cache[key];
     if (!slot) {
-        slot = std::make_shared<const DvfsLookupTable>(
-            FirstOrderModel(mp), n_big, n_little);
+        slot = std::make_shared<const DvfsLookupTable>(FirstOrderModel(mp),
+                                                       table_topo);
     }
     return slot;
 }
@@ -76,19 +68,21 @@ MachineConfig::system1B7L()
 Machine::Machine(const MachineConfig &config, const TaskDag &dag,
                  const BatchBinding &binding)
     : config_(config), dag_(dag), app_model_(config.app_params),
+      topo_(config.resolvedTopology()),
       table_shared_(config.table_override
                         ? nullptr
-                        : sharedDvfsTable(config.table_params,
-                                          config.n_big, config.n_little)),
+                        : sharedDvfsTable(
+                              config.table_params,
+                              topo_.retargeted(config.table_params))),
       controller_(config.table_override ? *config.table_override
                                         : *table_shared_,
-                  config.policy, coreTypesOf(config),
-                  config.table_params),
+                  config.policy, config.table_params),
       regulator_(config.regulator_ns_per_step,
                  config.regulator_volts_per_step),
-      energy_(app_model_, coreTypesOf(config)),
-      regions_(config.n_big, config.n_little),
-      num_cores_(config.numCores()),
+      energy_(app_model_, topo_),
+      regions_(topo_.cluster(0).count,
+               topo_.numCores() - topo_.cluster(0).count),
+      num_cores_(topo_.numCores()),
       own_events_(binding.queue ? 0 : 2 * config.numCores() + 1),
       events_(binding.queue ? binding.queue : &own_events_),
       slot_base_(binding.queue ? binding.slot_base : 0),
@@ -97,17 +91,26 @@ Machine::Machine(const MachineConfig &config, const TaskDag &dag,
     AAWS_ASSERT(!dag_.phases().empty(), "kernel has no phases");
     int n = num_cores_;
     AAWS_ASSERT(n >= 1 && n <= 64, "unsupported core count %d", n);
+    AAWS_ASSERT(controller_.numCores() == n,
+                "DVFS table shape (%d cores) does not match the machine "
+                "topology (%d cores)",
+                controller_.numCores(), n);
     policy_ = sched::makePolicyStack(config.schedPolicy());
     occ_victim_ =
         dynamic_cast<sched::OccupancyVictimSelector *>(policy_.victim.get());
     rand_victim_ =
         dynamic_cast<sched::RandomVictimSelector *>(policy_.victim.get());
-    AAWS_ASSERT(occ_victim_ || rand_victim_, "unknown victim selector");
+    crit_victim_ = dynamic_cast<sched::CriticalityVictimSelector *>(
+        policy_.victim.get());
+    AAWS_ASSERT(occ_victim_ || rand_victim_ || crit_victim_,
+                "unknown victim selector");
     // Cores boot in the steal loop (inactive) but their hint bits power
     // up raised, so the two censuses intentionally disagree at t=0.
-    state_census_ = sched::ActivityCensus(config.n_big, config.n_little);
-    hint_census_ = sched::ActivityCensus(config.n_big, config.n_little,
-                                         /*all_active=*/true);
+    state_census_ = sched::ActivityCensus(topo_);
+    hint_census_ = sched::ActivityCensus(topo_, /*all_active=*/true);
+    cluster_ipc_.reserve(topo_.numClusters());
+    for (const CoreCluster &cluster : topo_.clusters())
+        cluster_ipc_.push_back(cluster.params.ipc);
     cores_.resize(n);
     workers_.resize(n);
     worker_core_.resize(n);
@@ -115,8 +118,7 @@ Machine::Machine(const MachineConfig &config, const TaskDag &dag,
     dag_op_begin_ = dag_.opSpans();
     double v_nom = config_.app_params.v_nom;
     for (int c = 0; c < n; ++c) {
-        cores_[c].type = c < config_.n_big ? CoreType::big
-                                           : CoreType::little;
+        cores_[c].cluster = static_cast<int16_t>(topo_.clusterOf(c));
         cores_[c].worker = static_cast<int16_t>(c);
         cores_[c].v_now = v_nom;
         cores_[c].v_goal = v_nom;
@@ -124,9 +126,8 @@ Machine::Machine(const MachineConfig &config, const TaskDag &dag,
         refreshRate(cores_[c]);
         worker_core_[c] = static_cast<int16_t>(c);
     }
-    occupancy_seconds_.assign(
-        static_cast<size_t>((config_.n_big + 1) * (config_.n_little + 1)),
-        0.0);
+    occupancy_seconds_.assign(static_cast<size_t>(topo_.censusCells()),
+                              0.0);
     hints_buf_.resize(static_cast<size_t>(n));
     if (config_.collect_trace) {
         result_.trace.enable();
@@ -180,8 +181,8 @@ Machine::instrRate(const Core &core) const
 void
 Machine::refreshRate(Core &core)
 {
-    core.instr_rate = config_.app_params.ipc(core.type) * core.freq /
-                      contention_factor_;
+    core.instr_rate =
+        cluster_ipc_[core.cluster] * core.freq / contention_factor_;
 }
 
 double
@@ -285,19 +286,20 @@ void
 Machine::recordCensus()
 {
     // The active-core counts are maintained incrementally by
-    // setCoreState (the sole mutator of Core::state).
-    int big_active = state_census_.bigActive();
-    int little_active = state_census_.littleActive();
-    regions_.update(now(), serial_core_ >= 0, big_active, little_active);
-    if (big_active != census_ba_ || little_active != census_la_) {
-        occupancy_seconds_[census_ba_ * (config_.n_little + 1) +
-                           census_la_] +=
+    // setCoreState (the sole mutator of Core::state).  The region
+    // tracker splits the machine into its fastest cluster vs the rest
+    // (big vs little on the two-cluster machines).
+    int fastest_active = state_census_.clusterActive(0);
+    int rest_active = state_census_.active() - fastest_active;
+    regions_.update(now(), serial_core_ >= 0, fastest_active, rest_active);
+    int idx = topo_.censusIndex(state_census_.counts());
+    if (idx != census_idx_) {
+        occupancy_seconds_[census_idx_] +=
             ticksToSeconds(now_ - census_since_);
-        census_ba_ = big_active;
-        census_la_ = little_active;
+        census_idx_ = idx;
         census_since_ = now_;
     }
-    setActiveCount(big_active + little_active);
+    setActiveCount(state_census_.active());
 }
 
 void
@@ -353,11 +355,11 @@ Machine::setCoreState(int c, CoreState state)
                   state == CoreState::serial ||
                   state == CoreState::mugging;
     if (active != was_active)
-        state_census_.note(core.type, active);
+        state_census_.note(core.cluster, active);
     bool hints_changed = false;
     if (active && !core.hint_active) {
         core.hint_active = true;
-        hint_census_.note(core.type, true);
+        hint_census_.note(core.cluster, true);
         hints_changed = true;
     }
     updateEnergy(c);
@@ -557,8 +559,9 @@ Machine::onStealDone(int c)
     bool biased_out = !policy_.gate.allowSteal(*this, c);
     int victim = -1;
     if (!biased_out) {
-        victim = occ_victim_ ? occ_victim_->pickIn(*this, core.worker)
-                             : rand_victim_->pickIn(*this, core.worker);
+        victim = occ_victim_    ? occ_victim_->pickIn(*this, core.worker)
+                 : rand_victim_ ? rand_victim_->pickIn(*this, core.worker)
+                                : crit_victim_->pickIn(*this, core.worker);
     }
 
     if (victim >= 0) {
@@ -578,17 +581,18 @@ Machine::onStealDone(int c)
     result_.failed_steals++;
     if (core.failed_steals == 2 && core.hint_active) {
         core.hint_active = false;
-        hint_census_.note(core.type, false);
+        hint_census_.note(core.cluster, false);
         onHintsChanged();
     }
 
-    // Work-mugging: a big core that has failed to steal twice
-    // preemptively migrates work from an active little core.  The swap
-    // moves the whole user-level context, so a big core blocked at a
-    // sync may also mug (its blocked continuation migrates to the
-    // little core and resumes whenever its join completes).
-    if (policy_.mug.wantsMug(core.type, core.failed_steals)) {
-        int target = policy_.mug.pickMuggee(*this);
+    // Work-mugging: a fast core that has failed to steal twice
+    // preemptively migrates work from an active core of a slower
+    // cluster.  The swap moves the whole user-level context, so a fast
+    // core blocked at a sync may also mug (its blocked continuation
+    // migrates to the slower core and resumes whenever its join
+    // completes).
+    if (policy_.mug.wantsMug(*this, c, core.failed_steals)) {
+        int target = policy_.mug.pickMuggee(*this, core.cluster);
         if (target >= 0) {
             issueMug(c, target, /*for_phase=*/false);
             return;
@@ -798,10 +802,11 @@ Machine::startNextPhase(int c)
 void
 Machine::phaseTransition(int c)
 {
-    // End of a parallel region: logical thread 0 must continue on a big
-    // core (Section III-B); if it is on a little core, mug any big core.
-    if (policy_.mug.enabled() && cores_[c].type == CoreType::little) {
-        int target = policy_.mug.pickPhaseMuggee(*this);
+    // End of a parallel region: logical thread 0 must continue on a
+    // fast core (Section III-B); if it is on a slower cluster, mug an
+    // idle core of any faster one.
+    if (policy_.mug.enabled() && cores_[c].cluster > 0) {
+        int target = policy_.mug.pickPhaseMuggee(*this, cores_[c].cluster);
         if (target >= 0) {
             issueMug(c, target, /*for_phase=*/true);
             return;
@@ -917,7 +922,8 @@ Machine::dumpStateAndPanic()
                      "  core%zu %s worker=%d state=%d pending=%d "
                      "rem=%.0f v=%.2f stack=%zu dq=%zu resume=%.0f "
                      "peer=%d targeted=%d fails=%d\n",
-                     c, coreTypeName(core.type), core.worker,
+                     c, topo_.cluster(core.cluster).name.c_str(),
+                     core.worker,
                      static_cast<int>(core.state),
                      static_cast<int>(core.pending), core.remaining,
                      core.v_now, w.stack.size(), w.dq.size(),
@@ -1031,7 +1037,7 @@ Machine::finalize()
     result_.waiting_energy = energy_.waitingEnergy();
     result_.avg_power = energy_.averagePower();
     result_.regions = regions_.breakdown();
-    occupancy_seconds_[census_ba_ * (config_.n_little + 1) + census_la_] +=
+    occupancy_seconds_[census_idx_] +=
         ticksToSeconds(finish_tick_ - census_since_);
     result_.occupancy_seconds = std::move(occupancy_seconds_);
     result_.core_stats.resize(cores_.size());
@@ -1116,8 +1122,7 @@ Machine::snapshot() const
     s.contention_factor = contention_factor_;
     s.state_census = state_census_;
     s.hint_census = hint_census_;
-    s.census_ba = census_ba_;
-    s.census_la = census_la_;
+    s.census_idx = census_idx_;
     s.census_since = census_since_;
     s.occupancy_seconds = occupancy_seconds_;
     s.victim_rng = rand_victim_ ? rand_victim_->rngState() : 0;
@@ -1156,8 +1161,7 @@ Machine::restore(const Snapshot &snap)
     contention_factor_ = snap.contention_factor;
     state_census_ = snap.state_census;
     hint_census_ = snap.hint_census;
-    census_ba_ = snap.census_ba;
-    census_la_ = snap.census_la;
+    census_idx_ = snap.census_idx;
     census_since_ = snap.census_since;
     occupancy_seconds_ = snap.occupancy_seconds;
     if (rand_victim_)

@@ -12,15 +12,20 @@
  * steal attempt, per Section III-A) and may not issue a new decision
  * while a transition is in flight.
  *
+ * The machine shape is a CoreTopology (model/topology.h): N clusters of
+ * cores, fastest first, each with its own class parameters and voltage
+ * rail domain; the legacy big/little machine is the two-cluster special
+ * case and simulates bit-identically to the pre-topology code.
+ *
  * The scheduler is the paper's baseline runtime: per-worker Chase-Lev
  * deques (owner pushes/pops the tail, thieves steal the head),
  * occupancy-based victim selection, child stealing, optional
- * work-biasing (little cores only steal when all big cores are busy),
+ * work-biasing (a core steals only when every faster cluster is busy),
  * serial-sprinting, and the three AAWS techniques.  Work-mugging swaps
- * the *logical workers* of a big and a little core through the modeled
- * user-level-interrupt protocol: interrupt delivery, ~80 instructions of
- * state-swap code per side, a rendezvous barrier, and a cache-migration
- * penalty on the migrated task.
+ * the *logical workers* of a faster and a slower core through the
+ * modeled user-level-interrupt protocol: interrupt delivery, ~80
+ * instructions of state-swap code per side, a rendezvous barrier, and a
+ * cache-migration penalty on the migrated task.
  *
  * Every policy *decision* — victim choice, work-biasing, mug
  * triggering/targeting, rest/sprint intents — is delegated to the
@@ -228,19 +233,28 @@ class Machine final
         return static_cast<int64_t>(workers_[worker].dq.size());
     }
 
-    CoreType coreType(int core) const { return cores_[core].type; }
-
     sched::CoreActivity activity(int core) const { return cores_[core].state; }
 
-    int numBig() const { return config_.n_big; }
+    int numClusters() const { return topo_.numClusters(); }
+
+    int clusterOf(int core) const { return cores_[core].cluster; }
+
+    int clusterSize(int cluster) const { return topo_.cluster(cluster).count; }
+
+    int
+    clusterActive(int cluster) const
+    {
+        // A core not counted active is stealing or done.
+        return state_census_.clusterActive(cluster);
+    }
 
     int numCores() const { return num_cores_; }
 
+    /** Cluster of the core a worker runs on (mugging migrates workers). */
     int
-    bigActive() const
+    workerCluster(int worker) const
     {
-        // A big core not counted active is stealing or done.
-        return state_census_.bigActive();
+        return cores_[worker_core_[worker]].cluster;
     }
 
     int64_t
@@ -317,7 +331,7 @@ class Machine final
     /** Physical core. */
     struct Core
     {
-        CoreType type = CoreType::little;
+        int16_t cluster = 0;      ///< CoreTopology cluster (0 = fastest).
         int16_t worker = -1;
         double v_now = 1.0;       ///< Supply voltage (charge basis).
         double v_goal = 1.0;      ///< Target of an in-flight transition.
@@ -428,6 +442,8 @@ class Machine final
     const MachineConfig config_;
     const TaskDag &dag_;
     FirstOrderModel app_model_;
+    /** Resolved machine shape (config.topology or the legacy mapping). */
+    const CoreTopology topo_;
     /** Process-wide shared DVFS table (null when config overrides it). */
     std::shared_ptr<const DvfsLookupTable> table_shared_;
     DvfsController controller_;
@@ -482,15 +498,18 @@ class Machine final
     // occupancy probes statically dispatched.
     sched::OccupancyVictimSelector *occ_victim_ = nullptr;
     sched::RandomVictimSelector *rand_victim_ = nullptr;
+    sched::CriticalityVictimSelector *crit_victim_ = nullptr;
     int active_count_ = 0;
     double contention_factor_ = 1.0;
+    /** Per-cluster IPC under app_params (refreshRate hot path). */
+    std::vector<double> cluster_ipc_;
     // Incremental activity census (running | serial | mugging cores).
     sched::ActivityCensus state_census_;
     // Census of the *hint bits* (what the DVFS controller sees).
     sched::ActivityCensus hint_census_;
-    // Occupancy-time accounting for the adaptive controller.
-    int census_ba_ = 0;
-    int census_la_ = 0;
+    // Occupancy-time accounting for the adaptive controller
+    // (mixed-radix census index; see CoreTopology::censusIndex).
+    int census_idx_ = 0;
     Tick census_since_ = 0;
     std::vector<double> occupancy_seconds_;
     // Reused decision buffers (avoid per-census allocation).
@@ -527,8 +546,7 @@ struct Machine::Snapshot
     double contention_factor = 1.0;
     sched::ActivityCensus state_census;
     sched::ActivityCensus hint_census;
-    int census_ba = 0;
-    int census_la = 0;
+    int census_idx = 0;
     Tick census_since = 0;
     std::vector<double> occupancy_seconds;
     /** Seeded random-victim stream position (0 = occupancy selector). */

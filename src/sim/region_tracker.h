@@ -14,11 +14,16 @@ namespace aaws {
  * Integrates time per region.  The machine reports every census change
  * (activity or serial-flag transition); the interval since the previous
  * report is charged to the previous census's category.
+ *
+ * The Figure 8 categories are defined for a two-way split; on an
+ * N-cluster machine the simulator feeds the fastest cluster as "big"
+ * and everything slower as "little", which reduces to the paper's
+ * split on the two-cluster presets.
  */
 class RegionTracker
 {
   public:
-    /** @param big_total Total big cores in the machine. */
+    /** @param big_total Fastest-cluster cores ("big" side of the split). */
     explicit RegionTracker(int big_total, int little_total);
 
     /** Report the census holding from `now` onward (seconds). */

@@ -68,8 +68,62 @@ TEST_P(KernelDeterminism, BitIdenticalAcrossSeeds)
     }
 }
 
+class TopologyDeterminism : public ::testing::TestWithParam<std::string>
+{
+};
+
+/**
+ * The topology path must not merely be internally deterministic: a
+ * "1b7l" preset run has to replay bit-identically, and — because the
+ * preset derives its cluster parameters by the same expressions the
+ * legacy accessors use — match the legacy 1B7L simulation bit for bit.
+ * Seeds rotate through every variant, so the whole policy stack crosses
+ * the topology-indexed census/DVFS plumbing.
+ */
+TEST_P(TopologyDeterminism, PresetRunsMatchLegacyBitIdentically)
+{
+    const std::string &name = GetParam();
+    const int64_t seeds = envKnob("AAWS_DETERMINISM_SEEDS", 50, 50);
+    const auto variants = allVariants();
+    const uint64_t base = stress::baseSeed() ^ 0x707'0107'07ull;
+
+    for (int64_t i = 0; i < seeds; ++i) {
+        uint64_t seed = stress::nthSeed(base, static_cast<uint64_t>(i));
+        Variant variant = variants[i % variants.size()];
+        bool trace = i % 10 == 0;
+        SCOPED_TRACE(testing::Message()
+                     << name << " seed 0x" << std::hex << seed
+                     << std::dec << " variant " << variantName(variant)
+                     << " topology 1b7l");
+
+        Kernel kernel = makeKernel(name, seed);
+        MachineConfig config =
+            configFor(kernel, SystemShape::s1B7L, variant, trace);
+        config.topology = makeTopology("1b7l", config.app_params);
+        SimResult first = Machine(config, kernel.dag).run();
+        SimResult second = Machine(config, kernel.dag).run();
+        stress::expectIdenticalResults(first, second);
+
+        SimResult legacy =
+            runKernel(kernel, SystemShape::s1B7L, variant, trace).sim;
+        stress::expectIdenticalResults(first, legacy);
+        if (HasFatalFailure() || HasNonfatalFailure())
+            return; // one seed's dump is enough
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, KernelDeterminism, ::testing::ValuesIn(kernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, TopologyDeterminism, ::testing::ValuesIn(kernelNames()),
     [](const ::testing::TestParamInfo<std::string> &info) {
         std::string name = info.param;
         for (char &c : name)

@@ -219,10 +219,10 @@ TEST(Adaptive, TunedVoltagesStayFeasible)
     for (int ba = 0; ba <= 4; ++ba) {
         for (int la = 0; la <= 4; ++la) {
             const DvfsTableEntry &e = report.table.at(ba, la);
-            EXPECT_GE(e.v_big, params.v_min - 1e-9);
-            EXPECT_LE(e.v_big, params.v_max + 1e-9);
-            EXPECT_GE(e.v_little, params.v_min - 1e-9);
-            EXPECT_LE(e.v_little, params.v_max + 1e-9);
+            EXPECT_GE(e.vBig(), params.v_min - 1e-9);
+            EXPECT_LE(e.vBig(), params.v_max + 1e-9);
+            EXPECT_GE(e.vLittle(), params.v_min - 1e-9);
+            EXPECT_LE(e.vLittle(), params.v_max + 1e-9);
         }
     }
 }
@@ -274,7 +274,7 @@ TEST(MachineConfig, TableOverrideIsUsed)
     DvfsLookupTable flat(designer, 4, 4);
     for (int ba = 0; ba <= 4; ++ba)
         for (int la = 0; la <= 4; ++la)
-            flat.setEntry(ba, la, DvfsTableEntry{1.0, 1.0, 1.0});
+            flat.setEntry(ba, la, DvfsTableEntry::bigLittle(1.0, 1.0, 1.0));
     config.table_override = &flat;
     // Sprinting still rests waiters at v_min, but active cores stay
     // nominal: the run must be slower than with the real table.

@@ -59,16 +59,16 @@ TEST_F(TableFixture, TwentyFiveEntriesFor4B4L)
 TEST_F(TableFixture, AllActiveEntryMatchesHpFeasiblePoint)
 {
     const DvfsTableEntry &entry = table_.at(4, 4);
-    EXPECT_NEAR(entry.v_big, 0.93, 0.03);
-    EXPECT_NEAR(entry.v_little, 1.30, 1e-6);
+    EXPECT_NEAR(entry.vBig(), 0.93, 0.03);
+    EXPECT_NEAR(entry.vLittle(), 1.30, 1e-6);
     EXPECT_NEAR(entry.speedup, 1.10, 0.02);
 }
 
 TEST_F(TableFixture, HalfActiveEntryMatchesLpFeasiblePoint)
 {
     const DvfsTableEntry &entry = table_.at(2, 2);
-    EXPECT_NEAR(entry.v_big, 1.16, 0.03);
-    EXPECT_NEAR(entry.v_little, 1.30, 1e-6);
+    EXPECT_NEAR(entry.vBig(), 1.16, 0.03);
+    EXPECT_NEAR(entry.vLittle(), 1.30, 1e-6);
 }
 
 TEST_F(TableFixture, VoltagesStayWithinFeasibleRange)
@@ -77,10 +77,10 @@ TEST_F(TableFixture, VoltagesStayWithinFeasibleRange)
     for (int ba = 0; ba <= 4; ++ba) {
         for (int la = 0; la <= 4; ++la) {
             const DvfsTableEntry &e = table_.at(ba, la);
-            EXPECT_GE(e.v_big, p.v_min - 1e-9);
-            EXPECT_LE(e.v_big, p.v_max + 1e-9);
-            EXPECT_GE(e.v_little, p.v_min - 1e-9);
-            EXPECT_LE(e.v_little, p.v_max + 1e-9);
+            EXPECT_GE(e.vBig(), p.v_min - 1e-9);
+            EXPECT_LE(e.vBig(), p.v_max + 1e-9);
+            EXPECT_GE(e.vLittle(), p.v_min - 1e-9);
+            EXPECT_LE(e.vLittle(), p.v_max + 1e-9);
         }
     }
 }
@@ -92,7 +92,7 @@ TEST_F(TableFixture, FewerActiveCoresSprintHarder)
     for (int la : {0, 4}) {
         double v_prev = 10.0;
         for (int ba = 1; ba <= 4; ++ba) {
-            double v = table_.at(ba, la).v_big;
+            double v = table_.at(ba, la).vBig();
             EXPECT_LE(v, v_prev + 1e-9) << "ba=" << ba << " la=" << la;
             v_prev = v;
         }
@@ -101,7 +101,7 @@ TEST_F(TableFixture, FewerActiveCoresSprintHarder)
 
 TEST_F(TableFixture, SingleActiveBigSprintsToMax)
 {
-    EXPECT_NEAR(table_.at(1, 0).v_big, model_.params().v_max, 1e-6);
+    EXPECT_NEAR(table_.at(1, 0).vBig(), model_.params().v_max, 1e-6);
 }
 
 TEST_F(TableFixture, SetEntryRejectsOutOfRange)
@@ -113,9 +113,9 @@ TEST_F(TableFixture, SetEntryRejectsOutOfRange)
 TEST_F(TableFixture, SetEntryOverwrites)
 {
     DvfsLookupTable table(model_, 4, 4);
-    table.setEntry(2, 3, DvfsTableEntry{1.11, 0.99, 1.2});
-    EXPECT_DOUBLE_EQ(table.at(2, 3).v_big, 1.11);
-    EXPECT_DOUBLE_EQ(table.at(2, 3).v_little, 0.99);
+    table.setEntry(2, 3, DvfsTableEntry::bigLittle(1.11, 0.99, 1.2));
+    EXPECT_DOUBLE_EQ(table.at(2, 3).vBig(), 1.11);
+    EXPECT_DOUBLE_EQ(table.at(2, 3).vLittle(), 0.99);
 }
 
 TEST(Table, Shape1B7L)
@@ -130,14 +130,6 @@ TEST(Table, Shape1B7L)
 class ControllerFixture : public ::testing::Test
 {
   protected:
-    std::vector<CoreType>
-    types() const
-    {
-        return {CoreType::big, CoreType::big, CoreType::big,
-                CoreType::big, CoreType::little, CoreType::little,
-                CoreType::little, CoreType::little};
-    }
-
     DvfsController
     make(bool pacing, bool sprinting, bool serial)
     {
@@ -145,7 +137,7 @@ class ControllerFixture : public ::testing::Test
         policy.work_pacing = pacing;
         policy.work_sprinting = sprinting;
         policy.serial_sprinting = serial;
-        return DvfsController(table_, policy, types(), model_.params());
+        return DvfsController(table_, policy, model_.params());
     }
 
     FirstOrderModel model_;

@@ -125,6 +125,32 @@ TEST(RunSpec, CanonicalFormCoversEveryField)
               std::string::npos);
 }
 
+TEST(RunSpec, TopologyOverrideEntersCanonicalFormOnlyWhenSet)
+{
+    exp::RunSpec spec = sampleSpec();
+    EXPECT_EQ(exp::canonicalSpec(spec).find("topology"),
+              std::string::npos);
+    EXPECT_FALSE(spec.overrides.any());
+
+    spec.overrides.topology = "2b2m4l";
+    EXPECT_TRUE(spec.overrides.any());
+    EXPECT_NE(exp::canonicalSpec(spec).find(";topology=2b2m4l"),
+              std::string::npos);
+    EXPECT_NE(exp::specHash(spec), exp::specHash(sampleSpec()));
+
+    // Different presets hash apart.
+    exp::RunSpec other = sampleSpec();
+    other.overrides.topology = "1b7l";
+    EXPECT_NE(exp::specHash(spec), exp::specHash(other));
+
+    // applyOverrides resolves the preset into the machine config.
+    Kernel kernel = makeKernel(spec.kernel, spec.seed);
+    MachineConfig config = exp::configForSpec(kernel, spec);
+    EXPECT_FALSE(config.topology.empty());
+    EXPECT_EQ(config.topology.numClusters(), 3);
+    EXPECT_EQ(config.resolvedTopology().numCores(), 8);
+}
+
 TEST(RunSpec, HashSeparatesSpecs)
 {
     exp::RunSpec spec = sampleSpec();
@@ -357,6 +383,52 @@ TEST(BenchCli, BackendEnvParsesAndMalformedIsIgnored)
         EXPECT_EQ(cli.backend, exp::BackendSelection::chan);
     }
     ASSERT_EQ(unsetenv("AAWS_BACKEND"), 0);
+}
+
+TEST(BenchCli, ParseReadsTopologyFlag)
+{
+    const char *argv[] = {"bench", "--topology=2b2m4l"};
+    exp::BenchCli cli;
+    cli.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(cli.topology, "2b2m4l");
+}
+
+TEST(BenchCli, TopologyDefaultsToEmpty)
+{
+    const char *argv[] = {"bench"};
+    exp::BenchCli cli;
+    cli.parse(1, const_cast<char **>(argv));
+    EXPECT_TRUE(cli.topology.empty());
+}
+
+TEST(BenchCli, TopologyEnvParsesAndMalformedIsIgnored)
+{
+    // AAWS_TOPOLOGY follows the strict-flag / lenient-env split: a
+    // malformed environment value warns and is ignored instead of
+    // aborting the bench.
+    const char *argv[] = {"bench"};
+    ASSERT_EQ(setenv("AAWS_TOPOLOGY", "1b7l", 1), 0);
+    {
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_EQ(cli.topology, "1b7l");
+    }
+    ASSERT_EQ(setenv("AAWS_TOPOLOGY", "4l4b", 1), 0);
+    {
+        // Kinds must run fastest-to-slowest; "4l4b" is rejected.
+        exp::BenchCli cli;
+        cli.parse(1, const_cast<char **>(argv));
+        EXPECT_TRUE(cli.topology.empty()) << "malformed env ignored";
+    }
+    // An explicit flag beats even a well-formed environment value.
+    ASSERT_EQ(setenv("AAWS_TOPOLOGY", "1b7l", 1), 0);
+    {
+        const char *flag_argv[] = {"bench", "--topology=4b4l"};
+        exp::BenchCli cli;
+        cli.parse(2, const_cast<char **>(flag_argv));
+        EXPECT_EQ(cli.topology, "4b4l");
+    }
+    ASSERT_EQ(unsetenv("AAWS_TOPOLOGY"), 0);
 }
 
 TEST(ResultCache, ConstructorIgnoresEnvironment)
@@ -773,12 +845,13 @@ serveSpecSample()
 TEST(RunSpec, CacheSchemaCoversServeDimension)
 {
     // v3 made the serving fields spec-addressable; v4 retired every
-    // record of the pre-batching engine (see kCacheSchemaVersion).  A
-    // tree that adds spec dimensions or execution paths without
-    // bumping this would alias stale entries (alias-miss test below).
-    EXPECT_EQ(exp::kCacheSchemaVersion, 4u);
+    // record of the pre-batching engine; v5 retired pre-topology
+    // records (see kCacheSchemaVersion).  A tree that adds spec
+    // dimensions or execution paths without bumping this would alias
+    // stale entries (alias-miss test below).
+    EXPECT_EQ(exp::kCacheSchemaVersion, 5u);
     std::string closed = exp::canonicalSpec(sampleSpec());
-    EXPECT_NE(closed.find("aaws-exp/v4"), std::string::npos);
+    EXPECT_NE(closed.find("aaws-exp/v5"), std::string::npos);
     // Closed-loop specs stay serve-free so their hashes are stable.
     EXPECT_EQ(closed.find("serve."), std::string::npos);
 
@@ -883,7 +956,7 @@ TEST(ResultCache, PreServeSchemaRecordReadsAsMiss)
     exp::RunSpec closed = serveSpecSample();
     closed.serve.reset();
     std::string v2_canonical = exp::canonicalSpec(closed);
-    size_t tag = v2_canonical.find("aaws-exp/v4");
+    size_t tag = v2_canonical.find("aaws-exp/v5");
     ASSERT_NE(tag, std::string::npos);
     v2_canonical.replace(tag, 11, "aaws-exp/v2");
     {

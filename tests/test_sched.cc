@@ -33,17 +33,21 @@
 namespace aaws {
 namespace {
 
-/** Hand-settable SchedView for driving the policy components. */
+/**
+ * Hand-settable SchedView for driving the policy components.  Models a
+ * two-cluster machine: the first `n_big` workers are cluster 0 (big),
+ * the rest cluster 1 (little).
+ */
 class FakeView : public sched::SchedView
 {
   public:
     explicit FakeView(int workers, int n_big = 0)
-        : occ_(workers, 0), types_(workers, CoreType::little),
+        : occ_(workers, 0), clusters_(workers, 1),
           acts_(workers, sched::CoreActivity::running),
           engaged_(workers, 0), n_big_(n_big)
     {
         for (int i = 0; i < n_big && i < workers; ++i)
-            types_[i] = CoreType::big;
+            clusters_[i] = 0;
     }
 
     int numWorkers() const override
@@ -51,24 +55,32 @@ class FakeView : public sched::SchedView
         return static_cast<int>(occ_.size());
     }
     int64_t dequeSize(int worker) const override { return occ_[worker]; }
-    CoreType coreType(int core) const override { return types_[core]; }
     sched::CoreActivity activity(int core) const override
     {
         return acts_[core];
     }
-    int numBig() const override { return n_big_; }
-    int bigActive() const override { return big_active_; }
+    int numClusters() const override { return 2; }
+    int clusterOf(int core) const override { return clusters_[core]; }
+    int clusterSize(int cluster) const override
+    {
+        return cluster == 0 ? n_big_ : numWorkers() - n_big_;
+    }
+    int clusterActive(int cluster) const override
+    {
+        return cluster == 0 ? big_active_ : little_active_;
+    }
     bool mugEngaged(int core) const override
     {
         return engaged_[core] != 0;
     }
 
     std::vector<int64_t> occ_;
-    std::vector<CoreType> types_;
+    std::vector<int> clusters_;
     std::vector<sched::CoreActivity> acts_;
     std::vector<char> engaged_;
     int n_big_ = 0;
     int big_active_ = 0;
+    int little_active_ = 0;
 };
 
 // --- victim selection -------------------------------------------------------
@@ -265,13 +277,15 @@ TEST(RestPolicy, AllTechniquesOffIsAlwaysNominal)
 
 TEST(MugTrigger, OnlyStarvedBigCoresWantToMug)
 {
+    FakeView view(4, 2); // cores 0,1 big (cluster 0), 2,3 little
     sched::MugTrigger mug(true);
-    EXPECT_FALSE(mug.wantsMug(CoreType::big, 1));
-    EXPECT_TRUE(mug.wantsMug(CoreType::big, 2));
-    EXPECT_TRUE(mug.wantsMug(CoreType::big, 7));
-    EXPECT_FALSE(mug.wantsMug(CoreType::little, 5));
+    EXPECT_FALSE(mug.wantsMug(view, 0, 1));
+    EXPECT_TRUE(mug.wantsMug(view, 0, 2));
+    EXPECT_TRUE(mug.wantsMug(view, 1, 7));
+    // The slowest cluster has nobody to mug.
+    EXPECT_FALSE(mug.wantsMug(view, 2, 5));
     sched::MugTrigger off(false);
-    EXPECT_FALSE(off.wantsMug(CoreType::big, 5));
+    EXPECT_FALSE(off.wantsMug(view, 0, 5));
 }
 
 TEST(MugTrigger, PicksTheMostLoadedRunningLittle)
@@ -279,13 +293,13 @@ TEST(MugTrigger, PicksTheMostLoadedRunningLittle)
     FakeView view(4, 1);
     view.occ_ = {0, 2, 7, 3};
     sched::MugTrigger mug(true);
-    EXPECT_EQ(mug.pickMuggee(view), 2);
+    EXPECT_EQ(mug.pickMuggee(view, 0), 2);
     // An engaged core is skipped even if richest.
     view.engaged_[2] = 1;
-    EXPECT_EQ(mug.pickMuggee(view), 3);
+    EXPECT_EQ(mug.pickMuggee(view, 0), 3);
     // A non-running little is not muggable.
     view.acts_[3] = sched::CoreActivity::stealing;
-    EXPECT_EQ(mug.pickMuggee(view), 1);
+    EXPECT_EQ(mug.pickMuggee(view, 0), 1);
 }
 
 TEST(MugTrigger, RunningLittleWithEmptyDequeIsStillMuggable)
@@ -294,7 +308,7 @@ TEST(MugTrigger, RunningLittleWithEmptyDequeIsStillMuggable)
     FakeView view(3, 1);
     view.occ_ = {0, 0, 0};
     sched::MugTrigger mug(true);
-    EXPECT_EQ(mug.pickMuggee(view), 1); // tie breaks to the lowest id
+    EXPECT_EQ(mug.pickMuggee(view, 0), 1); // tie breaks to the lowest id
 }
 
 TEST(MugTrigger, NoMuggeeWhenNoLittleQualifies)
@@ -303,7 +317,7 @@ TEST(MugTrigger, NoMuggeeWhenNoLittleQualifies)
     view.acts_[1] = sched::CoreActivity::stealing;
     view.acts_[2] = sched::CoreActivity::done;
     sched::MugTrigger mug(true);
-    EXPECT_EQ(mug.pickMuggee(view), -1);
+    EXPECT_EQ(mug.pickMuggee(view, 0), -1);
 }
 
 TEST(MugTrigger, PhaseMuggeeIsTheFirstIdleBigCore)
@@ -312,9 +326,9 @@ TEST(MugTrigger, PhaseMuggeeIsTheFirstIdleBigCore)
     view.acts_[0] = sched::CoreActivity::running;
     view.acts_[1] = sched::CoreActivity::stealing;
     sched::MugTrigger mug(true);
-    EXPECT_EQ(mug.pickPhaseMuggee(view), 1);
+    EXPECT_EQ(mug.pickPhaseMuggee(view, 1), 1);
     view.engaged_[1] = 1;
-    EXPECT_EQ(mug.pickPhaseMuggee(view), -1);
+    EXPECT_EQ(mug.pickPhaseMuggee(view, 1), -1);
 }
 
 // --- activity census --------------------------------------------------------
@@ -322,19 +336,19 @@ TEST(MugTrigger, PhaseMuggeeIsTheFirstIdleBigCore)
 TEST(ActivityCensus, IncrementalMatchesRecountUnderRandomTransitions)
 {
     const int n_big = 3, n_little = 5;
-    std::vector<CoreType> types;
+    std::vector<int> cluster_of;
     for (int i = 0; i < n_big + n_little; ++i) {
-        types.push_back(i < n_big ? CoreType::big : CoreType::little);
+        cluster_of.push_back(i < n_big ? 0 : 1);
     }
-    std::vector<bool> active(types.size(), false);
+    std::vector<bool> active(cluster_of.size(), false);
     sched::ActivityCensus incremental(n_big, n_little);
     sched::ActivityCensus recounted(n_big, n_little);
     std::mt19937 rng(42);
     for (int step = 0; step < 2000; ++step) {
-        int c = static_cast<int>(rng() % types.size());
+        int c = static_cast<int>(rng() % cluster_of.size());
         active[c] = !active[c];
-        incremental.note(types[c], active[c]);
-        recounted.recount(active, types);
+        incremental.note(cluster_of[c], active[c]);
+        recounted.recount(active, cluster_of);
         ASSERT_EQ(incremental.bigActive(), recounted.bigActive());
         ASSERT_EQ(incremental.littleActive(), recounted.littleActive());
         ASSERT_EQ(incremental.allBigActive(), recounted.allBigActive());
@@ -347,7 +361,7 @@ TEST(ActivityCensus, BootsAllActiveWhenAsked)
     sched::ActivityCensus census(2, 6, /*all_active=*/true);
     EXPECT_TRUE(census.allActive());
     EXPECT_EQ(census.active(), 8);
-    census.note(CoreType::big, false);
+    census.note(/*cluster=*/0, false);
     EXPECT_FALSE(census.allBigActive());
     EXPECT_EQ(census.active(), 7);
 }
@@ -534,9 +548,9 @@ TEST_F(GovernorTest, BootDecisionPacesTheFullyActiveMachine)
                        mp_);
     // All hint bits boot active, so work-pacing applies the full cell.
     const DvfsTableEntry &entry = table_.at(1, 3);
-    EXPECT_DOUBLE_EQ(gov.decision(0).voltage, entry.v_big);
+    EXPECT_DOUBLE_EQ(gov.decision(0).voltage, entry.vBig());
     for (int w = 1; w < 4; ++w)
-        EXPECT_DOUBLE_EQ(gov.decision(w).voltage, entry.v_little);
+        EXPECT_DOUBLE_EQ(gov.decision(w).voltage, entry.vLittle());
     EXPECT_EQ(gov.activeWorkers(), 4);
 }
 
@@ -559,14 +573,14 @@ TEST_F(GovernorTest, SprintingGovernorRestsWaitersAndSprintsActives)
     const DvfsTableEntry &entry = table_.at(1, 2);
     EXPECT_DOUBLE_EQ(gov.decision(2).voltage, mp_.v_min);
     EXPECT_EQ(gov.decision(2).intent, sched::VoltageIntent::rest);
-    EXPECT_DOUBLE_EQ(gov.decision(0).voltage, entry.v_big);
-    EXPECT_DOUBLE_EQ(gov.decision(1).voltage, entry.v_little);
+    EXPECT_DOUBLE_EQ(gov.decision(0).voltage, entry.vBig());
+    EXPECT_DOUBLE_EQ(gov.decision(1).voltage, entry.vLittle());
     EXPECT_GT(gov.restIntents(), 0u);
     EXPECT_GT(gov.sprintIntents(), 0u);
     // The worker coming back re-decides: all-active pacing again.
     gov.onWorkerActive(2);
     const DvfsTableEntry &full = table_.at(1, 3);
-    EXPECT_DOUBLE_EQ(gov.decision(2).voltage, full.v_little);
+    EXPECT_DOUBLE_EQ(gov.decision(2).voltage, full.vLittle());
 }
 
 TEST_F(GovernorTest, RedundantTransitionsDoNotDoubleCount)

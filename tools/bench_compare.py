@@ -74,6 +74,22 @@ def main(argv=None):
             f"bench_compare: schema mismatch: baseline is "
             f"{base.get('schema')!r}, current is {curr.get('schema')!r}")
 
+    # Records measured under a --topology restriction carry a topology
+    # tag.  A tag on only one side is tolerated (older baselines
+    # predate the field; an untagged record is the default full sweep),
+    # but two different tags mean the runs measured different machine
+    # shapes and the delta would be meaningless.
+    base_topo = base.get("topology")
+    curr_topo = curr.get("topology")
+    if base_topo != curr_topo:
+        if base_topo is not None and curr_topo is not None:
+            raise SystemExit(
+                f"bench_compare: topology mismatch: baseline measured "
+                f"{base_topo!r}, current measured {curr_topo!r}")
+        print(f"bench_compare: note: topology tag only on "
+              f"{'baseline' if base_topo else 'current'} "
+              f"({base_topo or curr_topo!r}); comparing anyway")
+
     for name, record, path in (("baseline", base, args.baseline),
                                ("current", curr, args.current)):
         if args.metric not in record:
